@@ -1,0 +1,101 @@
+(* Benchmark harness.
+
+   Part 1 microbenchmarks the simulator's hot primitives with Bechamel
+   (one Test.make per primitive): these bound how large a workload the
+   experiment suite can replay.
+
+   Part 2 regenerates every table and figure of the paper — one bench
+   entry per experiment — timing each regeneration and printing the
+   rows the paper reports. By default it runs at a reduced scale so the
+   whole harness finishes in a few minutes; pass --full (or set
+   KG_BENCH_FULL=1) for the EXPERIMENTS.md setting. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: primitive microbenchmarks                                   *)
+
+let bench_rng () =
+  let rng = Kg_util.Rng.of_seed 1 in
+  Test.make ~name:"rng-draw" (Staged.stage (fun () -> ignore (Kg_util.Rng.int rng 64)))
+
+let bench_cache () =
+  let map = Kg_mem.Address_map.pcm_only () in
+  let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
+  let hier = Kg_cache.Hierarchy.create ~controller:ctrl () in
+  let rng = Kg_util.Rng.of_seed 2 in
+  Test.make ~name:"cache-hierarchy-access"
+    (Staged.stage (fun () ->
+         Kg_cache.Hierarchy.write hier (Kg_util.Rng.int rng (64 * 1024 * 1024))))
+
+let bench_wear () =
+  let wear = Kg_mem.Wear.create ~size:(256 * 1024 * 1024) () in
+  let rng = Kg_util.Rng.of_seed 3 in
+  Test.make ~name:"wear-record-write"
+    (Staged.stage (fun () ->
+         Kg_mem.Wear.record_write wear (Kg_util.Rng.int rng (1024 * 1024) * 256)))
+
+let bench_barrier () =
+  let map = Kg_mem.Address_map.hybrid () in
+  let cfg = Kg_gc.Gc_config.make ~heap_mb:512 Kg_gc.Gc_config.kg_w_default in
+  let rt = Kg_gc.Runtime.create ~config:cfg ~mem:(Kg_gc.Mem_iface.null ()) ~map ~seed:4 () in
+  let o = Kg_gc.Runtime.alloc_boot rt ~size:64 ~heat:Kg_heap.Object_model.Cold ~ref_fields:2 in
+  Test.make ~name:"write-barrier-ref"
+    (Staged.stage (fun () -> Kg_gc.Runtime.write_ref rt ~src:o ~tgt:o))
+
+let bench_alloc () =
+  let map = Kg_mem.Address_map.hybrid () in
+  let cfg = Kg_gc.Gc_config.make ~heap_mb:64 Kg_gc.Gc_config.kg_w_default in
+  let rt = Kg_gc.Runtime.create ~config:cfg ~mem:(Kg_gc.Mem_iface.null ()) ~map ~seed:5 () in
+  Test.make ~name:"alloc-with-gc-churn"
+    (Staged.stage (fun () ->
+         ignore
+           (Kg_gc.Runtime.alloc rt ~size:64 ~heat:Kg_heap.Object_model.Cold
+              ~death:(Kg_gc.Runtime.now rt +. 100_000.0)
+              ~ref_fields:2)))
+
+let run_micro () =
+  print_endline "== primitive microbenchmarks (Bechamel OLS, ns/op) ==";
+  let tests =
+    Test.make_grouped ~name:"primitives" ~fmt:"%s/%s"
+      [ bench_rng (); bench_cache (); bench_wear (); bench_barrier (); bench_alloc () ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est = match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan in
+      let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+      Printf.printf "  %-40s %10.1f ns/op  (r2=%.3f)\n%!" name est r2)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: one bench per table/figure                                  *)
+
+let run_experiments full =
+  let module E = Kg_sim.Experiments in
+  let opts =
+    if full then E.default_opts else { E.scale = 64; heap_scale = 5; cap_mb = 32; seed = 42 }
+  in
+  Printf.printf "\n== experiment regeneration (%s scale) ==\n%!"
+    (if full then "full" else "reduced");
+  let env = E.make_env opts in
+  List.iter
+    (fun (id, desc, f) ->
+      let t0 = Unix.gettimeofday () in
+      let table = f env in
+      Printf.printf "\n-- %s : %s [%.1f s] --\n%s%!" id desc
+        (Unix.gettimeofday () -. t0)
+        (Kg_util.Table.render table))
+    E.all
+
+let () =
+  let full =
+    Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
+  in
+  run_micro ();
+  run_experiments full

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Filename Kg_sim Kg_util List Option Printf String Sys Term Unix

@@ -1,0 +1,1 @@
+bin/kingsguard_cli.ml: Arg Cmd Cmdliner Kg_gc Kg_sim Kg_workload List Printf String Term

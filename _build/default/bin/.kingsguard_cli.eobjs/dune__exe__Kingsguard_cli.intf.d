@@ -1,0 +1,1 @@
+bin/kingsguard_cli.mli:

@@ -1,0 +1,1 @@
+bin/plots.ml: Array Filename Hashtbl In_channel Kg_util List Option Out_channel Printf String Sys

@@ -1,0 +1,142 @@
+(* kingsguard: run one benchmark under one collector/memory system and
+   print the collector's view of the run. *)
+
+open Cmdliner
+module R = Kg_sim.Run
+module D = Kg_workload.Descriptor
+module GS = Kg_gc.Gc_stats
+
+let spec_of_string = function
+  | "dram-only" -> Ok R.dram_only
+  | "pcm-only" -> Ok R.pcm_only
+  | "kg-n" -> Ok R.kg_n
+  | "kg-n-12" -> Ok R.kg_n_12
+  | "kg-w" -> Ok R.kg_w
+  | "kg-w-loo" -> Ok R.kg_w_no_loo
+  | "kg-w-loo-mdo" -> Ok R.kg_w_no_loo_mdo
+  | "kg-w-pm" -> Ok R.kg_w_no_pm
+  | "wp" -> Ok R.wp
+  | s -> Error (`Msg (Printf.sprintf "unknown collector %S" s))
+
+let collector_names =
+  "dram-only|pcm-only|kg-n|kg-n-12|kg-w|kg-w-loo|kg-w-loo-mdo|kg-w-pm|wp"
+
+let print_result (r : R.result) simulate =
+  let st = r.R.stats in
+  let mb x = x /. 1048576.0 in
+  Printf.printf "benchmark        %s\n" r.R.bench.D.name;
+  Printf.printf "collector        %s\n" (R.label r.R.spec);
+  Printf.printf "allocated        %d MB\n" (r.R.alloc_bytes / 1048576);
+  Printf.printf "collections      %d nursery, %d observer, %d major\n" st.GS.nursery_gcs
+    st.GS.observer_gcs st.GS.major_gcs;
+  Printf.printf "nursery survival %.1f%%\n" (100.0 *. GS.nursery_survival st);
+  Printf.printf "observer surv.   %.1f%%\n" (100.0 *. GS.observer_survival st);
+  Printf.printf "mature writes    %.1f%% of app writes (top2%% take %.1f%%)\n"
+    (100.0 *. GS.mature_write_fraction st)
+    (100.0 *. GS.top_fraction_writes st 0.02);
+  Printf.printf "barrier PCM wr   %.1f MB (DRAM %.1f MB)\n"
+    (mb (float_of_int st.GS.app_write_bytes_pcm))
+    (mb (float_of_int st.GS.app_write_bytes_dram));
+  if simulate then begin
+    Printf.printf "memory PCM wr    %.1f MB (DRAM %.1f MB)\n" (mb r.R.mem_pcm_write_bytes)
+      (mb r.R.mem_dram_write_bytes);
+    Printf.printf "exec time        %.3f s (modeled)\n" r.R.time_s;
+    Printf.printf "write rate       %.2f GB/s (4-core) / %.2f GB/s (32-core)\n"
+      (R.pcm_write_rate_4core_gbs r) (R.pcm_write_rate_32core_gbs r);
+    Printf.printf "PCM lifetime     %.1f years @30M endurance\n" (R.lifetime_years r);
+    (match r.R.energy with
+    | Some e ->
+      Printf.printf "energy           %.3f J, EDP %.4f Js\n" (Kg_sim.Energy.total_j e) r.R.edp
+    | None -> ());
+    Printf.printf "wear-level CoV   %.4f\n" r.R.wear_cov
+  end;
+  Printf.printf "heap: DRAM avg/max %.1f/%.1f MB, PCM avg/max %.1f/%.1f MB, meta %.1f MB\n"
+    r.R.dram_avg_mb r.R.dram_max_mb r.R.pcm_avg_mb r.R.pcm_max_mb r.R.meta_mb
+
+let run_cmd bench collector simulate scale heap_scale cap_mb seed threshold trigger observer =
+  match spec_of_string collector with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok spec ->
+    let spec =
+      {
+        spec with
+        R.write_threshold = threshold;
+        pcm_write_trigger_mb = trigger;
+        observer_mb = observer;
+      }
+    in
+    (
+    match D.find bench with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try: %s\n" bench
+        (String.concat ", " (D.names ()));
+      1
+    | d ->
+      let mode = if simulate then R.Simulate else R.Count in
+      let r = R.run ~seed ~scale ~heap_scale ~cap_mb ~mode spec d in
+      print_result r simulate;
+      0)
+
+let bench_arg =
+  let doc = "Benchmark name (see `kingsguard list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let collector_arg =
+  let doc = Printf.sprintf "Collector / memory system: %s." collector_names in
+  Arg.(value & opt string "kg-w" & info [ "c"; "collector" ] ~docv:"COLLECTOR" ~doc)
+
+let simulate_arg =
+  let doc = "Run the full cache/memory simulation (slower) instead of barrier-level counting." in
+  Arg.(value & flag & info [ "simulate" ] ~doc)
+
+let scale_arg =
+  let doc = "Divide the benchmark's allocation volume by this factor." in
+  Arg.(value & opt int 8 & info [ "scale" ] ~doc)
+
+let heap_scale_arg =
+  let doc = "Divide the benchmark's live-heap target by this factor." in
+  Arg.(value & opt int 3 & info [ "heap-scale" ] ~doc)
+
+let cap_arg =
+  let doc = "Cap the run length in MB of allocation." in
+  Arg.(value & opt int 256 & info [ "cap-mb" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given a seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let threshold_arg =
+  let doc = "KG-W extension: writes needed before an object counts as written (default 1)." in
+  Arg.(value & opt int 1 & info [ "write-threshold" ] ~doc)
+
+let trigger_arg =
+  let doc = "KG-W extension: trigger a major GC after this many MB of PCM writes." in
+  Arg.(value & opt (some int) None & info [ "pcm-write-trigger-mb" ] ~doc)
+
+let observer_arg =
+  let doc = "Observer space size in MB (default 2x nursery)." in
+  Arg.(value & opt (some int) None & info [ "observer-mb" ] ~doc)
+
+let run_t =
+  Term.(
+    const run_cmd $ bench_arg $ collector_arg $ simulate_arg $ scale_arg $ heap_scale_arg
+    $ cap_arg $ seed_arg $ threshold_arg $ trigger_arg $ observer_arg)
+
+let list_cmd () =
+  List.iter
+    (fun (d : D.t) ->
+      Printf.printf "%-10s alloc %5d MB, heap %4d MB, nursery survival %5.1f%%%s\n" d.D.name
+        d.D.alloc_mb d.D.heap_mb
+        (100.0 *. d.D.nursery_survival)
+        (if d.D.simulated then "  [simulated subset]" else ""))
+    D.all;
+  0
+
+let cmds =
+  let run =
+    Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector") run_t
+  in
+  let list = Cmd.v (Cmd.info "list" ~doc:"List benchmarks") Term.(const list_cmd $ const ()) in
+  Cmd.group (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator") [ run; list ]
+
+let () = exit (Cmd.eval' cmds)

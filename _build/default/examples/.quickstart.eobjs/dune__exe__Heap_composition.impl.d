@@ -1,0 +1,1 @@
+examples/heap_composition.ml: Array Float Kingsguard Printf Sim String Workload

@@ -1,0 +1,1 @@
+examples/lifetime_explorer.ml: Array Kingsguard List Printf Sim Sys Workload

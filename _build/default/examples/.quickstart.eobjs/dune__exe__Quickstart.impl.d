@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gc Kingsguard Printf Sim Util Workload

@@ -1,0 +1,1 @@
+examples/wp_vs_kingsguard.ml: Array Kingsguard Printf Sim Sys Workload

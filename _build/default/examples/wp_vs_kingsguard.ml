@@ -1,0 +1,36 @@
+(* GC-directed placement vs OS write partitioning (the Figure 7
+   comparison): both use the same hybrid hardware, but WP reacts to
+   page-level write counts while the Kingsguard collectors place
+   individual objects by their observed behaviour.
+
+     dune exec examples/wp_vs_kingsguard.exe [benchmark] *)
+
+open Kingsguard
+module R = Sim.Run
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "pmd" in
+  let bench = Workload.Descriptor.find name in
+  let run spec = R.run ~seed:9 ~scale:16 ~heap_scale:3 ~cap_mb:128 ~mode:R.Simulate spec bench in
+  Printf.printf "simulating %s...\n%!" name;
+  let base = run R.pcm_only in
+  let wp = run R.wp in
+  let kgn = run R.kg_n in
+  let kgw = run R.kg_w in
+  let rel (r : R.result) = r.R.mem_pcm_write_bytes /. base.R.mem_pcm_write_bytes in
+  Printf.printf "\nPCM writes relative to PCM-only (lower is better):\n";
+  Printf.printf "  WP    %.2f  (of which %.2f is page-migration traffic)\n" (rel wp)
+    (wp.R.migration_pcm_bytes /. base.R.mem_pcm_write_bytes);
+  Printf.printf "  KG-N  %.2f\n" (rel kgn);
+  Printf.printf "  KG-W  %.2f\n" (rel kgw);
+  Printf.printf "\nDRAM consumed:\n";
+  Printf.printf "  WP    %.1f MB peak partition (%.1f MB of pages migrated back to PCM)\n"
+    wp.R.wp_dram_mb
+    (wp.R.migration_pcm_bytes /. 1048576.);
+  Printf.printf "  KG-W  %.1f MB average / %.1f MB max heap in DRAM\n" kgw.R.dram_avg_mb
+    kgw.R.dram_max_mb;
+  Printf.printf
+    "\nWhy WP loses (§6.1.3): it is reactive and page-grained — it keeps\n\
+     re-detecting the nursery as hot, and pages it migrates to DRAM cool\n\
+     down and get written back to PCM, which itself costs PCM writes.\n\
+     The collectors place objects correctly at promotion time instead.\n"

@@ -1,0 +1,1 @@
+lib/cache/controller.ml: Address_map Array Device Kg_mem Option Wear

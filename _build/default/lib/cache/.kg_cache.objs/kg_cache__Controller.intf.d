@@ -1,0 +1,1 @@
+lib/cache/controller.mli: Kg_mem

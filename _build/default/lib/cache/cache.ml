@@ -1,0 +1,138 @@
+type writeback = { wb_addr : int; wb_tag : int }
+
+type stats = { hits : int; misses : int; writebacks : int }
+
+type t = {
+  name : string;
+  line_size : int;
+  line_bits : int;
+  sets : int;
+  set_mask : int;
+  ways : int;
+  latency_ns : float;
+  (* Way state, indexed by set * ways + way. tags.(i) = -1 means invalid;
+     otherwise it holds the full block address (addr / line_size). *)
+  tags : int array;
+  dirty : Bytes.t;
+  phase : int array;
+  lru : int array;  (* per-way last-use stamp *)
+  clock : int array;  (* per-set use counter *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~size ~ways ~line_size ~latency_ns =
+  if ways <= 0 || line_size <= 0 || size mod (ways * line_size) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of ways * line_size";
+  let sets = size / (ways * line_size) in
+  if not (is_pow2 sets && is_pow2 line_size) then
+    invalid_arg "Cache.create: sets and line_size must be powers of two";
+  {
+    name;
+    line_size;
+    line_bits = log2 line_size;
+    sets;
+    set_mask = sets - 1;
+    ways;
+    latency_ns;
+    tags = Array.make (sets * ways) (-1);
+    dirty = Bytes.make (sets * ways) '\000';
+    phase = Array.make (sets * ways) 0;
+    lru = Array.make (sets * ways) 0;
+    clock = Array.make sets 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let name t = t.name
+let line_size t = t.line_size
+let latency_ns t = t.latency_ns
+
+let block_of t addr = addr lsr t.line_bits
+let set_of t block = block land t.set_mask
+
+let touch t set way =
+  t.clock.(set) <- t.clock.(set) + 1;
+  t.lru.((set * t.ways) + way) <- t.clock.(set)
+
+let probe t ~addr ~write ~tag =
+  let block = block_of t addr in
+  let set = set_of t block in
+  let base = set * t.ways in
+  let rec find way =
+    if way = t.ways then -1
+    else if t.tags.(base + way) = block then way
+    else find (way + 1)
+  in
+  let way = find 0 in
+  if way >= 0 then begin
+    t.hits <- t.hits + 1;
+    touch t set way;
+    if write then begin
+      Bytes.unsafe_set t.dirty (base + way) '\001';
+      t.phase.(base + way) <- tag
+    end;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let fill t ~addr ~write ~tag =
+  let block = block_of t addr in
+  let set = set_of t block in
+  let base = set * t.ways in
+  (* Victim: an invalid way if present, else least-recently used. *)
+  let victim = ref 0 in
+  let best = ref max_int in
+  (try
+     for way = 0 to t.ways - 1 do
+       if t.tags.(base + way) = -1 then begin
+         victim := way;
+         raise Exit
+       end;
+       if t.lru.(base + way) < !best then begin
+         best := t.lru.(base + way);
+         victim := way
+       end
+     done
+   with Exit -> ());
+  let idx = base + !victim in
+  let wb =
+    if t.tags.(idx) >= 0 && Bytes.get t.dirty idx = '\001' then begin
+      t.writebacks <- t.writebacks + 1;
+      Some { wb_addr = t.tags.(idx) lsl t.line_bits; wb_tag = t.phase.(idx) }
+    end
+    else None
+  in
+  t.tags.(idx) <- block;
+  Bytes.set t.dirty idx (if write then '\001' else '\000');
+  t.phase.(idx) <- (if write then tag else 0);
+  touch t set !victim;
+  wb
+
+let invalidate_all t =
+  let acc = ref [] in
+  for idx = 0 to Array.length t.tags - 1 do
+    if t.tags.(idx) >= 0 && Bytes.get t.dirty idx = '\001' then
+      acc := { wb_addr = t.tags.(idx) lsl t.line_bits; wb_tag = t.phase.(idx) } :: !acc;
+    t.tags.(idx) <- -1;
+    Bytes.set t.dirty idx '\000'
+  done;
+  !acc
+
+let stats t = { hits = t.hits; misses = t.misses; writebacks = t.writebacks }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0

@@ -1,0 +1,48 @@
+(** One level of set-associative write-back cache.
+
+    Caches absorb most heap writes; only dirty-line evictions reach main
+    memory, so modeling them faithfully is essential to reproducing the
+    paper's PCM write counts (§6.1: caches "are the first line of
+    defense in protecting PCM from writes").
+
+    Each line carries a [tag] identifying the execution phase that last
+    wrote it (application, nursery GC, observer GC, major GC). The paper
+    modified Sniper the same way for Figure 10: "we modify the simulator
+    to track which phase last wrote each cache line, since LRU policies
+    evict lines to PCM or DRAM well after their last access". *)
+
+type t
+
+type writeback = { wb_addr : int; wb_tag : int }
+(** A dirty line evicted by a fill: its block-aligned address and the
+    phase tag that last wrote it. *)
+
+val create : name:string -> size:int -> ways:int -> line_size:int -> latency_ns:float -> t
+(** [size] must be divisible by [ways * line_size], and the number of
+    sets must be a power of two. *)
+
+val name : t -> string
+val line_size : t -> int
+val latency_ns : t -> float
+
+val probe : t -> addr:int -> write:bool -> tag:int -> bool
+(** [probe t ~addr ~write ~tag] looks up the line containing [addr].
+    On a hit it updates LRU state and, for a write, the dirty bit and
+    phase tag, returning [true]. On a miss it returns [false] without
+    allocating; the caller fetches the line from the next level and
+    then calls {!fill}. *)
+
+val fill : t -> addr:int -> write:bool -> tag:int -> writeback option
+(** Allocate the line containing [addr] (after a miss), evicting the
+    LRU way of its set. Returns the dirty victim, if any, which the
+    caller must write to the next level. *)
+
+val invalidate_all : t -> writeback list
+(** Flush the cache, returning all dirty lines (used at simulation end
+    to drain resident dirty data into the traffic counts). *)
+
+(** Hit/miss/writeback counters. *)
+type stats = { hits : int; misses : int; writebacks : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

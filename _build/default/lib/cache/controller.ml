@@ -1,0 +1,96 @@
+open Kg_mem
+
+type t = {
+  map : Address_map.t;
+  dram : Device.t;
+  pcm : Device.t;
+  wear : Wear.t option;
+  line_size : int;
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable pcm_reads : int;
+  mutable pcm_writes : int;
+  dram_tag_writes : int array;
+  pcm_tag_writes : int array;
+  mutable time_ns : float;
+  mutable energy_j : float;
+  mutable on_write : int -> unit;
+}
+
+let create ?(dram = Device.dram) ?(pcm = Device.pcm) ?wear ?(max_tags = 8)
+    ?(on_write = fun _ -> ()) ~map ~line_size () =
+  {
+    map;
+    dram;
+    pcm;
+    wear;
+    line_size;
+    dram_reads = 0;
+    dram_writes = 0;
+    pcm_reads = 0;
+    pcm_writes = 0;
+    dram_tag_writes = Array.make max_tags 0;
+    pcm_tag_writes = Array.make max_tags 0;
+    time_ns = 0.0;
+    energy_j = 0.0;
+    on_write;
+  }
+
+let set_on_write t f = t.on_write <- f
+
+let map t = t.map
+let line_size t = t.line_size
+
+let device t = function Device.Dram -> t.dram | Device.Pcm -> t.pcm
+
+let line_read t addr =
+  let kind = Address_map.kind_of t.map addr in
+  let dev = device t kind in
+  (match kind with
+  | Device.Dram -> t.dram_reads <- t.dram_reads + 1
+  | Device.Pcm -> t.pcm_reads <- t.pcm_reads + 1);
+  t.time_ns <- t.time_ns +. dev.Device.read_latency_ns;
+  t.energy_j <- t.energy_j +. Device.read_energy_j dev
+
+let line_write t addr ~tag =
+  t.on_write addr;
+  let kind = Address_map.kind_of t.map addr in
+  let dev = device t kind in
+  (match kind with
+  | Device.Dram ->
+    t.dram_writes <- t.dram_writes + 1;
+    if tag < Array.length t.dram_tag_writes then
+      t.dram_tag_writes.(tag) <- t.dram_tag_writes.(tag) + 1
+  | Device.Pcm ->
+    t.pcm_writes <- t.pcm_writes + 1;
+    if tag < Array.length t.pcm_tag_writes then
+      t.pcm_tag_writes.(tag) <- t.pcm_tag_writes.(tag) + 1;
+    Option.iter
+      (fun w ->
+        let off = addr - Address_map.pcm_base t.map in
+        if off >= 0 && off < Address_map.pcm_size t.map then Wear.record_write w off)
+      t.wear);
+  t.time_ns <- t.time_ns +. dev.Device.write_latency_ns;
+  t.energy_j <- t.energy_j +. Device.write_energy_j dev
+
+let reads t = function Device.Dram -> t.dram_reads | Device.Pcm -> t.pcm_reads
+let writes t = function Device.Dram -> t.dram_writes | Device.Pcm -> t.pcm_writes
+
+let writes_by_tag t = function
+  | Device.Dram -> Array.copy t.dram_tag_writes
+  | Device.Pcm -> Array.copy t.pcm_tag_writes
+
+let bytes_written t kind = writes t kind * t.line_size
+let bytes_read t kind = reads t kind * t.line_size
+let access_time_ns t = t.time_ns
+let access_energy_j t = t.energy_j
+
+let reset t =
+  t.dram_reads <- 0;
+  t.dram_writes <- 0;
+  t.pcm_reads <- 0;
+  t.pcm_writes <- 0;
+  Array.fill t.dram_tag_writes 0 (Array.length t.dram_tag_writes) 0;
+  Array.fill t.pcm_tag_writes 0 (Array.length t.pcm_tag_writes) 0;
+  t.time_ns <- 0.0;
+  t.energy_j <- 0.0

@@ -1,0 +1,54 @@
+(** Memory controller: routes line-granularity accesses to DRAM or PCM
+    by physical address and tallies per-device traffic.
+
+    Writes to PCM additionally pass through the wear-leveling layer so
+    endurance accounting sees the post-remapping line stream. Per-tag
+    write counters back Figure 10 (which phase's writes reach PCM). *)
+
+type t
+
+val create :
+  ?dram:Kg_mem.Device.t ->
+  ?pcm:Kg_mem.Device.t ->
+  ?wear:Kg_mem.Wear.t ->
+  ?max_tags:int ->
+  ?on_write:(int -> unit) ->
+  map:Kg_mem.Address_map.t ->
+  line_size:int ->
+  unit ->
+  t
+(** [on_write] observes every line writeback's physical address — the
+    hook OS write-partitioning uses to count per-page writes in the
+    memory controller. *)
+
+val set_on_write : t -> (int -> unit) -> unit
+
+val map : t -> Kg_mem.Address_map.t
+val line_size : t -> int
+
+val line_read : t -> int -> unit
+(** Service a line fetch at the given physical address. *)
+
+val line_write : t -> int -> tag:int -> unit
+(** Service a line writeback. [tag] identifies the phase that produced
+    the dirty data. *)
+
+val reads : t -> Kg_mem.Device.kind -> int
+val writes : t -> Kg_mem.Device.kind -> int
+
+val writes_by_tag : t -> Kg_mem.Device.kind -> int array
+(** Per-phase write counts (copy). Index = tag. *)
+
+val bytes_written : t -> Kg_mem.Device.kind -> int
+val bytes_read : t -> Kg_mem.Device.kind -> int
+
+val access_time_ns : t -> float
+(** Sum of device latencies over all serviced accesses: the raw,
+    no-overlap memory time used by the time model. *)
+
+val access_energy_j : t -> float
+(** Dynamic energy of all serviced accesses. *)
+
+val device : t -> Kg_mem.Device.kind -> Kg_mem.Device.t
+
+val reset : t -> unit

@@ -1,0 +1,89 @@
+type level_config = { size : int; ways : int; latency_ns : float }
+
+let default_l1 = { size = 32 * 1024; ways = 8; latency_ns = 1.0 }
+let default_l2 = { size = 256 * 1024; ways = 8; latency_ns = 2.0 }
+let default_l3 = { size = 4 * 1024 * 1024; ways = 16; latency_ns = 7.5 }
+
+type t = {
+  levels : Cache.t array;
+  ctrl : Controller.t;
+  line_size : int;
+  mutable phase : int;
+  mutable accesses : int;
+  mutable hit_time_ns : float;
+}
+
+let create ?(l1 = default_l1) ?(l2 = default_l2) ?(l3 = default_l3) ?(line_size = 64) ~controller () =
+  let mk name (c : level_config) =
+    Cache.create ~name ~size:c.size ~ways:c.ways ~line_size ~latency_ns:c.latency_ns
+  in
+  {
+    levels = [| mk "L1-D" l1; mk "L2" l2; mk "L3" l3 |];
+    ctrl = controller;
+    line_size;
+    phase = 0;
+    accesses = 0;
+    hit_time_ns = 0.0;
+  }
+
+let controller t = t.ctrl
+let set_phase t p = t.phase <- p
+let phase t = t.phase
+
+let nlevels = 3
+
+(* Install a dirty victim one level down. A writeback carries a full
+   line, so on miss we fill without fetching from below. *)
+let rec writeback t lvl (wb : Cache.writeback) =
+  if lvl >= nlevels then Controller.line_write t.ctrl wb.wb_addr ~tag:wb.wb_tag
+  else begin
+    let c = t.levels.(lvl) in
+    if not (Cache.probe c ~addr:wb.wb_addr ~write:true ~tag:wb.wb_tag) then
+      match Cache.fill c ~addr:wb.wb_addr ~write:true ~tag:wb.wb_tag with
+      | Some victim -> writeback t (lvl + 1) victim
+      | None -> ()
+  end
+
+(* Demand access: on a miss, fetch the line from the next level (a read,
+   regardless of the demand type) and then fill. *)
+let rec demand t lvl addr write tag =
+  if lvl >= nlevels then Controller.line_read t.ctrl addr
+  else begin
+    let c = t.levels.(lvl) in
+    t.hit_time_ns <- t.hit_time_ns +. Cache.latency_ns c;
+    if not (Cache.probe c ~addr ~write ~tag) then begin
+      demand t (lvl + 1) addr false tag;
+      match Cache.fill c ~addr ~write ~tag with
+      | Some victim -> writeback t (lvl + 1) victim
+      | None -> ()
+    end
+  end
+
+let read t addr =
+  t.accesses <- t.accesses + 1;
+  demand t 0 addr false t.phase
+
+let write t addr =
+  t.accesses <- t.accesses + 1;
+  demand t 0 addr true t.phase
+
+let access_range t ~addr ~size ~write =
+  if size > 0 then begin
+    let first = addr / t.line_size in
+    let last = (addr + size - 1) / t.line_size in
+    for line = first to last do
+      let a = line * t.line_size in
+      t.accesses <- t.accesses + 1;
+      demand t 0 a write t.phase
+    done
+  end
+
+let drain t =
+  for lvl = 0 to nlevels - 1 do
+    let wbs = Cache.invalidate_all t.levels.(lvl) in
+    List.iter (fun wb -> writeback t (lvl + 1) wb) wbs
+  done
+
+let level_stats t = Array.map Cache.stats t.levels
+let hit_time_ns t = t.hit_time_ns
+let accesses t = t.accesses

@@ -1,0 +1,57 @@
+(** Three-level write-back cache hierarchy in front of the memory
+    controller (Table 2: 32 KB 8-way L1-D, 256 KB 8-way L2, 4 MB 16-way
+    shared L3, 64 B lines).
+
+    The hierarchy is non-inclusive with write-allocate demand accesses.
+    A dirty line evicted from level N is installed in level N+1 as a
+    full-line write (no fetch); dirty L3 victims become memory
+    writebacks. This is the path by which mutator and collector writes
+    eventually reach DRAM or PCM. *)
+
+type t
+
+type level_config = { size : int; ways : int; latency_ns : float }
+
+val default_l1 : level_config
+val default_l2 : level_config
+val default_l3 : level_config
+
+val create :
+  ?l1:level_config ->
+  ?l2:level_config ->
+  ?l3:level_config ->
+  ?line_size:int ->
+  controller:Controller.t ->
+  unit ->
+  t
+
+val controller : t -> Controller.t
+val set_phase : t -> int -> unit
+(** Tag subsequent writes with the given phase id (see
+    {!Kg_cache.Cache}). *)
+
+val phase : t -> int
+
+val read : t -> int -> unit
+(** Demand-read one byte-addressed location (touches one line). *)
+
+val write : t -> int -> unit
+(** Demand-write one location, tagged with the current phase. *)
+
+val access_range : t -> addr:int -> size:int -> write:bool -> unit
+(** Touch every cache line overlapping [\[addr, addr+size)]. Used for
+    object copies and zeroing, which stream over whole objects. *)
+
+val drain : t -> unit
+(** Flush all levels so dirty resident lines reach the traffic counts;
+    call once at simulation end. *)
+
+val level_stats : t -> Cache.stats array
+(** Stats for L1, L2, L3 in order. *)
+
+val hit_time_ns : t -> float
+(** Aggregate latency of cache accesses (hits and per-level lookup
+    costs), excluding memory device time. *)
+
+val accesses : t -> int
+(** Demand accesses issued (reads + writes), before line splitting. *)

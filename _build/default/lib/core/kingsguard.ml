@@ -1,0 +1,26 @@
+(** Write-rationing garbage collection for hybrid DRAM-PCM memories.
+
+    Facade over the library stack, bottom-up:
+
+    - {!Util}: PRNG, statistics, tables, vectors.
+    - {!Mem}: DRAM/PCM device models, address maps, wear-leveling,
+      the analytical lifetime model.
+    - {!Cache}: set-associative write-back hierarchy and the memory
+      controller that routes line writebacks to a device.
+    - {!Heap}: object model, copying/observer bump spaces, the Immix
+      mark-region space, large-object treadmills, metadata space.
+    - {!Gc}: write barriers, remembered sets, and the GenImmix /
+      Kingsguard-nursery / Kingsguard-writers collector plans.
+    - {!Os}: page-granularity OS write partitioning (the WP baseline).
+    - {!Workload}: DaCapo/pjbb/GraphChi-calibrated synthetic mutators.
+    - {!Sim}: machine assembly, time/energy models, experiment runners
+      reproducing every table and figure of the paper. *)
+
+module Util = Kg_util
+module Mem = Kg_mem
+module Cache = Kg_cache
+module Heap = Kg_heap
+module Gc = Kg_gc
+module Os = Kg_os
+module Workload = Kg_workload
+module Sim = Kg_sim

@@ -1,0 +1,1 @@
+lib/gc/gc_config.ml: Kg_util Option

@@ -1,0 +1,1 @@
+lib/gc/gc_stats.ml: Array Kg_heap Kg_util Phase Vec

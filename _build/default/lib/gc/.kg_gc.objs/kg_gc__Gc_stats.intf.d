@@ -1,0 +1,1 @@
+lib/gc/gc_stats.mli: Kg_heap Kg_util Phase

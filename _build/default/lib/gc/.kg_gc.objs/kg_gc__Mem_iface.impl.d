@@ -1,0 +1,1 @@
+lib/gc/mem_iface.ml: Array Kg_cache Kg_mem Phase

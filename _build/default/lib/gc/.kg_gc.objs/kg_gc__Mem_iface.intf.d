@@ -1,0 +1,1 @@
+lib/gc/mem_iface.mli: Kg_cache Kg_mem Phase

@@ -1,0 +1,1 @@
+lib/gc/remset.ml: Kg_heap Kg_util Vec

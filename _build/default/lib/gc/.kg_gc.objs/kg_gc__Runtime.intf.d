@@ -1,0 +1,1 @@
+lib/gc/runtime.mli: Gc_config Gc_stats Kg_heap Kg_mem Mem_iface Phase

@@ -1,0 +1,146 @@
+open Kg_util
+
+type t = {
+  mutable app_writes_nursery : int;
+  mutable app_writes_observer : int;
+  mutable app_writes_mature : int;
+  mutable app_write_bytes_dram : int;
+  mutable app_write_bytes_pcm : int;
+  mutable ref_writes : int;
+  mutable prim_writes : int;
+  mutable reads : int;
+  mutable gen_remset_inserts : int;
+  mutable obs_remset_inserts : int;
+  mutable monitor_header_writes : int;
+  mutable barrier_fast_paths : int;
+  mutable nursery_gcs : int;
+  mutable observer_gcs : int;
+  mutable major_gcs : int;
+  mutable copied_bytes_nursery : int;
+  mutable copied_bytes_observer : int;
+  mutable copied_bytes_major : int;
+  mutable remset_slot_updates : int;
+  mutable mark_header_writes : int;
+  mutable mark_table_writes : int;
+  mutable scanned_objects : int;
+  mutable nursery_alloc_bytes : int;
+  mutable nursery_survived_bytes : int;
+  mutable observer_in_bytes : int;
+  mutable observer_survived_bytes : int;
+  mutable observer_to_dram_bytes : int;
+  mutable observer_to_pcm_bytes : int;
+  mutable large_allocs : int;
+  mutable large_allocs_in_nursery : int;
+  mutable mature_moves_to_dram : int;
+  mutable mature_moves_to_pcm : int;
+  mutable los_moves_to_dram : int;
+  retired_mature_writes : int Vec.t;
+  collection_log : (Phase.t * int * int) Vec.t;
+}
+
+let create () =
+  {
+    app_writes_nursery = 0;
+    app_writes_observer = 0;
+    app_writes_mature = 0;
+    app_write_bytes_dram = 0;
+    app_write_bytes_pcm = 0;
+    ref_writes = 0;
+    prim_writes = 0;
+    reads = 0;
+    gen_remset_inserts = 0;
+    obs_remset_inserts = 0;
+    monitor_header_writes = 0;
+    barrier_fast_paths = 0;
+    nursery_gcs = 0;
+    observer_gcs = 0;
+    major_gcs = 0;
+    copied_bytes_nursery = 0;
+    copied_bytes_observer = 0;
+    copied_bytes_major = 0;
+    remset_slot_updates = 0;
+    mark_header_writes = 0;
+    mark_table_writes = 0;
+    scanned_objects = 0;
+    nursery_alloc_bytes = 0;
+    nursery_survived_bytes = 0;
+    observer_in_bytes = 0;
+    observer_survived_bytes = 0;
+    observer_to_dram_bytes = 0;
+    observer_to_pcm_bytes = 0;
+    large_allocs = 0;
+    large_allocs_in_nursery = 0;
+    mature_moves_to_dram = 0;
+    mature_moves_to_pcm = 0;
+    los_moves_to_dram = 0;
+    retired_mature_writes = Vec.create ();
+    collection_log = Vec.create ();
+  }
+
+let reset t =
+  t.app_writes_nursery <- 0;
+  t.app_writes_observer <- 0;
+  t.app_writes_mature <- 0;
+  t.app_write_bytes_dram <- 0;
+  t.app_write_bytes_pcm <- 0;
+  t.ref_writes <- 0;
+  t.prim_writes <- 0;
+  t.reads <- 0;
+  t.gen_remset_inserts <- 0;
+  t.obs_remset_inserts <- 0;
+  t.monitor_header_writes <- 0;
+  t.barrier_fast_paths <- 0;
+  t.nursery_gcs <- 0;
+  t.observer_gcs <- 0;
+  t.major_gcs <- 0;
+  t.copied_bytes_nursery <- 0;
+  t.copied_bytes_observer <- 0;
+  t.copied_bytes_major <- 0;
+  t.remset_slot_updates <- 0;
+  t.mark_header_writes <- 0;
+  t.mark_table_writes <- 0;
+  t.scanned_objects <- 0;
+  t.nursery_alloc_bytes <- 0;
+  t.nursery_survived_bytes <- 0;
+  t.observer_in_bytes <- 0;
+  t.observer_survived_bytes <- 0;
+  t.observer_to_dram_bytes <- 0;
+  t.observer_to_pcm_bytes <- 0;
+  t.large_allocs <- 0;
+  t.large_allocs_in_nursery <- 0;
+  t.mature_moves_to_dram <- 0;
+  t.mature_moves_to_pcm <- 0;
+  t.los_moves_to_dram <- 0;
+  Vec.clear t.retired_mature_writes;
+  Vec.clear t.collection_log
+
+let log_collection t phase ~copied ~scanned = Vec.push t.collection_log (phase, copied, scanned)
+
+let retire t (o : Kg_heap.Object_model.t) =
+  if o.age >= 1 then Vec.push t.retired_mature_writes o.writes
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let nursery_survival t = ratio t.nursery_survived_bytes t.nursery_alloc_bytes
+let observer_survival t = ratio t.observer_survived_bytes t.observer_in_bytes
+
+let mature_write_fraction t =
+  ratio (t.app_writes_observer + t.app_writes_mature)
+    (t.app_writes_nursery + t.app_writes_observer + t.app_writes_mature)
+
+let top_fraction_writes t frac =
+  let written =
+    Vec.fold (fun acc w -> if w > 0 then w :: acc else acc) [] t.retired_mature_writes
+  in
+  let counts = Array.of_list written in
+  if Array.length counts = 0 then 0.0
+  else begin
+    Array.sort (fun a b -> compare b a) counts;
+    let total = Array.fold_left ( + ) 0 counts in
+    let k = max 1 (int_of_float (frac *. float_of_int (Array.length counts))) in
+    let top = ref 0 in
+    for i = 0 to k - 1 do
+      top := !top + counts.(i)
+    done;
+    ratio !top total
+  end

@@ -1,0 +1,65 @@
+type t = {
+  read : addr:int -> size:int -> unit;
+  write : addr:int -> size:int -> unit;
+  set_phase : Phase.t -> unit;
+  phase : unit -> Phase.t;
+}
+
+type counters = {
+  mutable dram_read_bytes : int;
+  mutable dram_write_bytes : int;
+  mutable pcm_read_bytes : int;
+  mutable pcm_write_bytes : int;
+  pcm_write_bytes_by_phase : int array;
+  mutable cur_phase : Phase.t;
+}
+
+let of_hierarchy h =
+  {
+    read = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range h ~addr ~size ~write:false);
+    write = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range h ~addr ~size ~write:true);
+    set_phase = (fun p -> Kg_cache.Hierarchy.set_phase h (Phase.to_tag p));
+    phase = (fun () -> Phase.of_tag (Kg_cache.Hierarchy.phase h));
+  }
+
+let counting ~map =
+  let c =
+    {
+      dram_read_bytes = 0;
+      dram_write_bytes = 0;
+      pcm_read_bytes = 0;
+      pcm_write_bytes = 0;
+      pcm_write_bytes_by_phase = Array.make Phase.count 0;
+      cur_phase = Phase.Application;
+    }
+  in
+  let kind addr = Kg_mem.Address_map.kind_of map addr in
+  let iface =
+    {
+      read =
+        (fun ~addr ~size ->
+          match kind addr with
+          | Kg_mem.Device.Dram -> c.dram_read_bytes <- c.dram_read_bytes + size
+          | Kg_mem.Device.Pcm -> c.pcm_read_bytes <- c.pcm_read_bytes + size);
+      write =
+        (fun ~addr ~size ->
+          match kind addr with
+          | Kg_mem.Device.Dram -> c.dram_write_bytes <- c.dram_write_bytes + size
+          | Kg_mem.Device.Pcm ->
+            c.pcm_write_bytes <- c.pcm_write_bytes + size;
+            let tag = Phase.to_tag c.cur_phase in
+            c.pcm_write_bytes_by_phase.(tag) <- c.pcm_write_bytes_by_phase.(tag) + size);
+      set_phase = (fun p -> c.cur_phase <- p);
+      phase = (fun () -> c.cur_phase);
+    }
+  in
+  (iface, c)
+
+let null () =
+  let phase = ref Phase.Application in
+  {
+    read = (fun ~addr:_ ~size:_ -> ());
+    write = (fun ~addr:_ ~size:_ -> ());
+    set_phase = (fun p -> phase := p);
+    phase = (fun () -> !phase);
+  }

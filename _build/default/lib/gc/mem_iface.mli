@@ -1,0 +1,31 @@
+(** What the runtime needs from the machine below it.
+
+    Two implementations: {!of_hierarchy} drives the full cache/memory
+    simulator (architecture-dependent results: Figures 5-10), and
+    {!counting} tallies raw read/write bytes per device with no cache
+    filtering (the architecture-independent write-barrier measurements
+    of Figures 2, 11, 12 and Table 4, which the paper gathered on real
+    hardware). *)
+
+type t = {
+  read : addr:int -> size:int -> unit;
+  write : addr:int -> size:int -> unit;
+  set_phase : Phase.t -> unit;
+  phase : unit -> Phase.t;
+}
+
+type counters = {
+  mutable dram_read_bytes : int;
+  mutable dram_write_bytes : int;
+  mutable pcm_read_bytes : int;
+  mutable pcm_write_bytes : int;
+  pcm_write_bytes_by_phase : int array;  (** indexed by {!Phase.to_tag} *)
+  mutable cur_phase : Phase.t;
+}
+
+val of_hierarchy : Kg_cache.Hierarchy.t -> t
+
+val counting : map:Kg_mem.Address_map.t -> t * counters
+
+val null : unit -> t
+(** Discards traffic entirely; for tests exercising pure heap logic. *)

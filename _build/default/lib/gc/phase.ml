@@ -1,0 +1,26 @@
+type t = Application | Nursery_gc | Observer_gc | Major_gc | Migration
+
+let to_tag = function
+  | Application -> 0
+  | Nursery_gc -> 1
+  | Observer_gc -> 2
+  | Major_gc -> 3
+  | Migration -> 4
+
+let of_tag = function
+  | 0 -> Application
+  | 1 -> Nursery_gc
+  | 2 -> Observer_gc
+  | 3 -> Major_gc
+  | 4 -> Migration
+  | n -> invalid_arg (Printf.sprintf "Phase.of_tag: %d" n)
+
+let to_string = function
+  | Application -> "application"
+  | Nursery_gc -> "nursery-GC"
+  | Observer_gc -> "observer-GC"
+  | Major_gc -> "major-GC"
+  | Migration -> "migration"
+
+let all = [ Application; Nursery_gc; Observer_gc; Major_gc; Migration ]
+let count = 5

@@ -1,0 +1,15 @@
+(** Execution phases.
+
+    Every memory write carries the phase that issued it; the cache
+    hierarchy propagates the tag of the last writer of each line to its
+    eventual writeback, which is how Figure 10 attributes PCM writes to
+    the application, nursery collections, observer collections, or
+    major collections (plus OS page migration for the WP baseline). *)
+
+type t = Application | Nursery_gc | Observer_gc | Major_gc | Migration
+
+val to_tag : t -> int
+val of_tag : int -> t
+val to_string : t -> string
+val all : t list
+val count : int

@@ -1,0 +1,42 @@
+open Kg_util
+
+type entry = { slot_addr : int; target : Kg_heap.Object_model.t }
+
+type t = {
+  name : string;
+  buffer_base : int;
+  buffer_slots : int;
+  entries : entry Vec.t;
+  mutable cursor : int;
+  mutable total : int;
+}
+
+let entry_bytes = Kg_heap.Layout.word
+
+let create ~name ~buffer_base ~buffer_bytes =
+  {
+    name;
+    buffer_base;
+    buffer_slots = max 1 (buffer_bytes / entry_bytes);
+    entries = Vec.create ();
+    cursor = 0;
+    total = 0;
+  }
+
+let name t = t.name
+
+let insert t ~slot_addr ~target =
+  Vec.push t.entries { slot_addr; target };
+  let addr = t.buffer_base + (t.cursor * entry_bytes) in
+  t.cursor <- (t.cursor + 1) mod t.buffer_slots;
+  t.total <- t.total + 1;
+  addr
+
+let length t = Vec.length t.entries
+let iter t f = Vec.iter f t.entries
+
+let clear t =
+  Vec.clear t.entries;
+  t.cursor <- 0
+
+let total_inserts t = t.total

@@ -1,0 +1,31 @@
+(** Sequential-store-buffer remembered set.
+
+    The write barrier (Figure 4) inserts the address of any slot outside
+    the nursery (resp. outside nursery+observer) that is written with a
+    pointer into it. Insertion writes an entry word into a metadata
+    buffer — traffic the caller accounts — and collections consume the
+    entries as roots, updating each recorded slot when its target moves
+    (the source of GC-time PCM writes in §6.1.6). *)
+
+type entry = { slot_addr : int; target : Kg_heap.Object_model.t }
+
+type t
+
+val create : name:string -> buffer_base:int -> buffer_bytes:int -> t
+(** [buffer_base]/[buffer_bytes] locate the backing store in the
+    metadata space; entry writes cycle through it. *)
+
+val name : t -> string
+
+val insert : t -> slot_addr:int -> target:Kg_heap.Object_model.t -> int
+(** Record an entry; returns the metadata address written so the caller
+    can issue the store. *)
+
+val length : t -> int
+
+val iter : t -> (entry -> unit) -> unit
+
+val clear : t -> unit
+
+val total_inserts : t -> int
+(** Lifetime insert count (for the Remsets overhead of Figure 9). *)

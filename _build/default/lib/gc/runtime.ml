@@ -1,0 +1,785 @@
+open Kg_util
+open Kg_heap
+module O = Object_model
+
+(* Fixed space ids; "young" = nursery or observer, tested by ordering. *)
+let sp_nursery = 0
+let sp_observer = 1
+let sp_mature_dram = 2
+let sp_mature_pcm = 3
+let sp_los_dram = 4
+let sp_los_pcm = 5
+
+type space_usage = {
+  nursery_used : int;
+  observer_used : int;
+  mature_dram_used : int;
+  mature_pcm_used : int;
+  los_dram_used : int;
+  los_pcm_used : int;
+  meta_used : int;
+}
+
+type t = {
+  cfg : Gc_config.t;
+  mem : Mem_iface.t;
+  map : Kg_mem.Address_map.t;
+  stats : Gc_stats.t;
+  rng : Rng.t;
+  nursery : Bump_space.t;
+  observer : Bump_space.t option;
+  mature_dram : Immix_space.t option;
+  mature_pcm : Immix_space.t;
+  los_dram : Los.t option;
+  los_pcm : Los.t;
+  meta : Meta_space.t;
+  gen_remset : Remset.t;
+  obs_remset : Remset.t option;
+  mature_dram_meta : int Vec.t;  (* line-mark chunk base per 4 MB region *)
+  mature_pcm_meta : int Vec.t;
+  mdo_tables : (int, int) Hashtbl.t;  (* region base -> mark table base *)
+  mutable now : float;
+  mutable nursery_alloc_since_gc : int;  (* small objects only *)
+  mutable large_alloc_since_gc : int;  (* all large allocation *)
+  mutable loo_enabled : bool;
+  mutable recent_survival : float;
+  mutable gc_hook : Phase.t -> unit;
+  mutable in_major : bool;
+  mutable pcm_writes_at_last_major : int;
+}
+
+let config t = t.cfg
+let stats t = t.stats
+let now t = t.now
+let is_young (o : O.t) = o.space <= sp_observer
+let in_nursery (o : O.t) = o.space = sp_nursery
+
+let object_in_pcm t (o : O.t) =
+  Kg_mem.Address_map.kind_of t.map o.addr = Kg_mem.Device.Pcm
+
+let set_gc_hook t f = t.gc_hook <- f
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let line_mark_chunk_bytes = Immix_space.meta_bytes_per_block * (Layout.mature_region / Layout.block)
+
+let create ~config:cfg ~mem ~map ~seed () =
+  let open Kg_mem in
+  let arena_of_region kind =
+    match kind with
+    | Device.Dram ->
+      Arena.create ~kind ~base:(Address_map.dram_base map) ~size:(Address_map.dram_size map)
+    | Device.Pcm ->
+      Arena.create ~kind ~base:(Address_map.pcm_base map) ~size:(Address_map.pcm_size map)
+  in
+  (* The "main" arena hosts everything that is not explicitly DRAM: the
+     single memory for the baselines, PCM for the Kingsguard configs. *)
+  let main_arena =
+    if Address_map.pcm_size map > 0 then arena_of_region Device.Pcm
+    else arena_of_region Device.Dram
+  in
+  let dram_arena =
+    match cfg.Gc_config.collector with
+    | Gc_config.Gen_immix -> main_arena
+    | _ -> arena_of_region Device.Dram
+  in
+  let meta_arena =
+    match cfg.Gc_config.collector with
+    | Gc_config.Kg_writers _ -> dram_arena
+    | _ -> main_arena
+  in
+  let meta = Meta_space.create ~id:6 ~name:"meta" ~arena:meta_arena in
+  let mature_pcm_meta = Vec.create () in
+  let mature_dram_meta = Vec.create () in
+  let mdo_tables = Hashtbl.create 64 in
+  let mdo_on =
+    match cfg.Gc_config.collector with
+    | Gc_config.Kg_writers { mdo; _ } -> mdo
+    | _ -> false
+  in
+  let on_pcm_region ~base =
+    Vec.push mature_pcm_meta (Meta_space.alloc_table meta line_mark_chunk_bytes);
+    if mdo_on then
+      Hashtbl.replace mdo_tables base
+        (Meta_space.alloc_table meta Layout.mark_table_bytes_per_region)
+  in
+  let on_dram_region ~base:_ =
+    Vec.push mature_dram_meta (Meta_space.alloc_table meta line_mark_chunk_bytes)
+  in
+  let nursery =
+    Bump_space.create ~id:sp_nursery ~name:"nursery" ~arena:dram_arena
+      ~size:cfg.Gc_config.nursery_bytes
+  in
+  let has_observer = Gc_config.has_observer cfg in
+  let observer =
+    if has_observer then
+      Some
+        (Bump_space.create ~id:sp_observer ~name:"observer" ~arena:dram_arena
+           ~size:cfg.Gc_config.observer_bytes)
+    else None
+  in
+  let mature_dram =
+    if has_observer then
+      Some
+        (Immix_space.create ~id:sp_mature_dram ~name:"mature-dram" ~arena:dram_arena
+           ~on_new_region:on_dram_region ())
+    else None
+  in
+  let mature_pcm =
+    Immix_space.create ~id:sp_mature_pcm ~name:"mature-pcm" ~arena:main_arena
+      ~on_new_region:on_pcm_region ()
+  in
+  let los_dram =
+    if has_observer then
+      Some (Los.create ~id:sp_los_dram ~name:"los-dram" ~arena:dram_arena)
+    else None
+  in
+  let los_pcm = Los.create ~id:sp_los_pcm ~name:"los-pcm" ~arena:main_arena in
+  let remset_buffer = Meta_space.alloc_table meta (Units.mib / 4) in
+  let gen_remset =
+    Remset.create ~name:"gen" ~buffer_base:remset_buffer ~buffer_bytes:(Units.mib / 4)
+  in
+  let obs_remset =
+    if has_observer then begin
+      let b = Meta_space.alloc_table meta (Units.mib / 4) in
+      Some (Remset.create ~name:"observer" ~buffer_base:b ~buffer_bytes:(Units.mib / 4))
+    end
+    else None
+  in
+  {
+    cfg;
+    mem;
+    map;
+    stats = Gc_stats.create ();
+    rng = Rng.of_seed seed;
+    nursery;
+    observer;
+    mature_dram;
+    mature_pcm;
+    los_dram;
+    los_pcm;
+    meta;
+    gen_remset;
+    obs_remset;
+    mature_dram_meta;
+    mature_pcm_meta;
+    mdo_tables;
+    now = 0.0;
+    nursery_alloc_since_gc = 0;
+    large_alloc_since_gc = 0;
+    loo_enabled = false;
+    recent_survival = 0.2;
+    gc_hook = (fun _ -> ());
+    in_major = false;
+    pcm_writes_at_last_major = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Usage accounting                                                    *)
+
+let usage t =
+  {
+    nursery_used = Bump_space.used_bytes t.nursery;
+    observer_used = (match t.observer with Some o -> Bump_space.used_bytes o | None -> 0);
+    mature_dram_used = (match t.mature_dram with Some s -> Immix_space.live_bytes s | None -> 0);
+    mature_pcm_used = Immix_space.live_bytes t.mature_pcm;
+    los_dram_used = (match t.los_dram with Some l -> Los.live_bytes l | None -> 0);
+    los_pcm_used = Los.live_bytes t.los_pcm;
+    meta_used = Meta_space.usage_bytes t.meta;
+  }
+
+let heap_used t =
+  let u = usage t in
+  u.nursery_used + u.observer_used + u.mature_dram_used + u.mature_pcm_used
+  + u.los_dram_used + u.los_pcm_used
+
+let live_large_bytes t =
+  Los.live_bytes t.los_pcm
+  + (match t.los_dram with Some l -> Los.live_bytes l | None -> 0)
+
+let space_kind_is_pcm t base = Kg_mem.Address_map.kind_of t.map base = Kg_mem.Device.Pcm
+
+let dram_used t =
+  let u = usage t in
+  let add_if_dram base v acc = if space_kind_is_pcm t base then acc else acc + v in
+  let acc = 0 in
+  let acc = add_if_dram (Bump_space.base t.nursery) u.nursery_used acc in
+  let acc =
+    match t.observer with Some o -> add_if_dram (Bump_space.base o) u.observer_used acc | None -> acc
+  in
+  let acc = acc + u.mature_dram_used + u.los_dram_used in
+  let acc = if Meta_space.kind t.meta = Kg_mem.Device.Dram then acc + u.meta_used else acc in
+  acc
+
+let pcm_used t =
+  let u = usage t in
+  let total =
+    u.nursery_used + u.observer_used + u.mature_dram_used + u.mature_pcm_used
+    + u.los_dram_used + u.los_pcm_used + u.meta_used
+  in
+  total - dram_used t
+
+(* ------------------------------------------------------------------ *)
+(* Copy machinery                                                      *)
+
+(* Traffic of moving an object: stream-read the old body, leave a
+   forwarding pointer, stream-write the new body. The allocation into
+   the destination space must already have updated [o.addr]. *)
+let copy_traffic t ~old_addr (o : O.t) =
+  t.mem.Mem_iface.read ~addr:old_addr ~size:o.size;
+  t.mem.Mem_iface.write ~addr:old_addr ~size:Layout.word;
+  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size
+
+let alloc_into_immix _t space (o : O.t) =
+  if not (Immix_space.alloc space o) then
+    failwith (Printf.sprintf "Runtime: %s exhausted" (Immix_space.name space))
+
+(* Model of updating heap references to a moved object. The referrer
+   count is small (most objects have one or two incoming pointers); we
+   charge the slot writes against a random mature resident, which is
+   where old-to-young and old-to-old pointers physically live. *)
+let referrer_update_writes t (moved : O.t) =
+  let candidates = Immix_space.objects t.mature_pcm in
+  let n = if Rng.bernoulli t.rng 0.3 then 2 else 1 in
+  if Vec.length candidates > 0 then
+    for _ = 1 to n do
+      let r = Vec.get candidates (Rng.int t.rng (Vec.length candidates)) in
+      if r != moved then begin
+        t.mem.Mem_iface.write ~addr:(O.field_addr r (Rng.int t.rng 64)) ~size:Layout.word;
+        t.stats.Gc_stats.remset_slot_updates <- t.stats.Gc_stats.remset_slot_updates + 1
+      end
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Remembered sets                                                     *)
+
+(* Consume a remembered set: read each entry, and update the recorded
+   slot if its target survived (and therefore moved). Slots live in the
+   writing object's space, so updating a PCM-resident slot is a PCM
+   write — the GC-phase PCM traffic of §6.1.6. *)
+let process_remset t rs =
+  let st = t.stats in
+  Remset.iter rs (fun { Remset.slot_addr; target } ->
+      st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
+      if O.is_live target t.now then begin
+        t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word;
+        st.Gc_stats.remset_slot_updates <- st.Gc_stats.remset_slot_updates + 1
+      end);
+  Remset.clear rs
+
+(* ------------------------------------------------------------------ *)
+(* Collections                                                         *)
+
+let los_for_large t =
+  (* Baselines and KG-N have a single large object space. *)
+  t.los_pcm
+
+let adopt_large t los (o : O.t) =
+  let old_addr = o.addr in
+  Los.adopt los o;
+  copy_traffic t ~old_addr o
+
+(* Copy a nursery survivor to [dst]; with an observer space the
+   destination is the observer, falling back to mature PCM if a
+   survival spike overflows it. *)
+let promote_nursery_object t (o : O.t) =
+  let old_addr = o.addr in
+  (match t.observer with
+  | Some obs ->
+    (* Large survivors also pass through the observer (§4.2.4); they
+       only reach large PCM after surviving an observer collection. *)
+    if Bump_space.alloc obs o then begin
+      copy_traffic t ~old_addr o;
+      t.stats.Gc_stats.observer_in_bytes <- t.stats.Gc_stats.observer_in_bytes + o.size
+    end
+    else if O.is_large o then adopt_large t (los_for_large t) o
+    else begin
+      alloc_into_immix t t.mature_pcm o;
+      copy_traffic t ~old_addr o
+    end
+  | None ->
+    if O.is_large o then adopt_large t (los_for_large t) o
+    else begin
+      alloc_into_immix t t.mature_pcm o;
+      copy_traffic t ~old_addr o
+    end);
+  o.age <- o.age + 1
+
+let collect_nursery t =
+  let st = t.stats in
+  st.Gc_stats.nursery_gcs <- st.Gc_stats.nursery_gcs + 1;
+  let survived = ref 0 in
+  Vec.iter
+    (fun (o : O.t) ->
+      if O.is_live o t.now then begin
+        promote_nursery_object t o;
+        survived := !survived + o.size;
+        st.Gc_stats.copied_bytes_nursery <- st.Gc_stats.copied_bytes_nursery + o.size
+      end)
+    (Bump_space.objects t.nursery);
+  st.Gc_stats.nursery_survived_bytes <- st.Gc_stats.nursery_survived_bytes + !survived;
+  let used = max 1 (Bump_space.used_bytes t.nursery) in
+  t.recent_survival <- 0.5 *. (t.recent_survival +. (float_of_int !survived /. float_of_int used));
+  Bump_space.reset t.nursery;
+  process_remset t t.gen_remset;
+  (* LOO decision (§4.2.4): enable nursery allocation of large objects
+     when large allocation outpaces the nursery. With hysteresis: once
+     on, the optimization itself diverts large objects into the
+     nursery, so the raw large-PCM rate collapses; only a clear drop in
+     large pressure turns it back off. *)
+  (match t.cfg.Gc_config.collector with
+  | Gc_config.Kg_writers { loo = true; _ } ->
+    t.loo_enabled <-
+      (if t.loo_enabled then t.large_alloc_since_gc * 4 > t.nursery_alloc_since_gc
+       else t.large_alloc_since_gc > t.nursery_alloc_since_gc)
+  | _ -> ());
+  t.nursery_alloc_since_gc <- 0;
+  t.large_alloc_since_gc <- 0
+
+(* Evacuate the observer space: written survivors to mature DRAM,
+   read-mostly survivors to mature PCM, large survivors straight to the
+   large PCM space (§4.2.1, §4.2.3, §4.2.4). *)
+let evacuate_observer t obs =
+  let st = t.stats in
+  let mature_dram = Option.get t.mature_dram in
+  Vec.iter
+    (fun (o : O.t) ->
+      if not (O.is_live o t.now) then Gc_stats.retire st o
+      else begin
+        st.Gc_stats.observer_survived_bytes <- st.Gc_stats.observer_survived_bytes + o.size;
+        st.Gc_stats.copied_bytes_observer <- st.Gc_stats.copied_bytes_observer + o.size;
+        let old_addr = o.addr in
+        if O.is_large o then adopt_large t t.los_pcm o
+        else if o.written then begin
+          alloc_into_immix t mature_dram o;
+          copy_traffic t ~old_addr o;
+          o.written <- false;
+          o.epoch_writes <- 0;
+          st.Gc_stats.observer_to_dram_bytes <- st.Gc_stats.observer_to_dram_bytes + o.size
+        end
+        else begin
+          alloc_into_immix t t.mature_pcm o;
+          copy_traffic t ~old_addr o;
+          st.Gc_stats.observer_to_pcm_bytes <- st.Gc_stats.observer_to_pcm_bytes + o.size
+        end;
+        o.age <- o.age + 1
+      end)
+    (Bump_space.objects obs);
+  Bump_space.reset obs
+
+(* Work performed between [snapshot] and now, for the pause log. *)
+let copied_scanned st =
+  ( st.Gc_stats.copied_bytes_nursery + st.Gc_stats.copied_bytes_observer
+    + st.Gc_stats.copied_bytes_major,
+    st.Gc_stats.scanned_objects + st.Gc_stats.remset_slot_updates )
+
+let log_pause t phase (copied0, scanned0) =
+  let copied, scanned = copied_scanned t.stats in
+  Gc_stats.log_collection t.stats phase ~copied:(copied - copied0) ~scanned:(scanned - scanned0)
+
+let collect_observer t =
+  match t.observer with
+  | None -> ()
+  | Some obs ->
+    let st = t.stats in
+    st.Gc_stats.observer_gcs <- st.Gc_stats.observer_gcs + 1;
+    let work0 = copied_scanned st in
+    t.mem.Mem_iface.set_phase Phase.Observer_gc;
+    evacuate_observer t obs;
+    (* The nursery is part of an observer collection (§4.2.2). *)
+    collect_nursery t;
+    Option.iter (process_remset t) t.obs_remset;
+    log_pause t Phase.Observer_gc work0;
+    t.gc_hook Phase.Observer_gc
+
+(* Marking a live mature object: trace-read its header and reference
+   fields, then record its mark state. MDO redirects the mark write of
+   PCM objects above 16 bytes into the DRAM mark table (§4.2.5). *)
+let mark_object t ~(mdo : bool) ~in_pcm (o : O.t) =
+  let st = t.stats in
+  st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
+  t.mem.Mem_iface.read ~addr:o.addr
+    ~size:(min o.size (Layout.header_bytes + (o.ref_fields * Layout.word)));
+  o.marked <- true;
+  if mdo && in_pcm && not (O.is_small16 o) then begin
+    let rbase = Immix_space.region_base_of_addr t.mature_pcm o.addr in
+    let table = Hashtbl.find t.mdo_tables rbase in
+    t.mem.Mem_iface.write ~addr:(table + ((o.addr - rbase) / Layout.small_mark_threshold)) ~size:1;
+    st.Gc_stats.mark_table_writes <- st.Gc_stats.mark_table_writes + 1
+  end
+  else begin
+    t.mem.Mem_iface.write ~addr:o.addr ~size:1;
+    st.Gc_stats.mark_header_writes <- st.Gc_stats.mark_header_writes + 1
+  end
+
+let sweep_immix t space meta_chunks =
+  let write_meta ~block_index ~lines =
+    let blocks_per_region = Layout.mature_region / Layout.block in
+    let chunk = Vec.get meta_chunks (block_index / blocks_per_region) in
+    let addr = chunk + (block_index mod blocks_per_region * Immix_space.meta_bytes_per_block) in
+    t.mem.Mem_iface.write ~addr ~size:lines
+  in
+  ignore
+    (Immix_space.sweep space ~now:t.now ~write_meta
+       ~on_dead:(fun o -> Gc_stats.retire t.stats o)
+       ())
+
+(* Treadmill collection: snapping a live node rewrites two link words
+   in its header, in whatever memory holds the object. *)
+let collect_los t los ~keep =
+  let evicted =
+    Los.collect los ~now:t.now ~keep ~on_dead:(fun o -> Gc_stats.retire t.stats o) ()
+  in
+  Los.iter los (fun o -> t.mem.Mem_iface.write ~addr:o.O.addr ~size:(2 * Layout.word));
+  evicted
+
+let major_gc_inner t =
+  let st = t.stats in
+  st.Gc_stats.major_gcs <- st.Gc_stats.major_gcs + 1;
+  let work0 = copied_scanned st in
+  (* Collect the young generation(s) first. *)
+  (match t.observer with
+  | Some _ ->
+    t.mem.Mem_iface.set_phase Phase.Observer_gc;
+    (match t.observer with Some obs -> evacuate_observer t obs | None -> ());
+    collect_nursery t;
+    Option.iter (process_remset t) t.obs_remset
+  | None ->
+    t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+    collect_nursery t);
+  t.mem.Mem_iface.set_phase Phase.Major_gc;
+  let mdo =
+    match t.cfg.Gc_config.collector with
+    | Gc_config.Kg_writers { mdo; _ } -> mdo
+    | _ -> false
+  in
+  (* Mark phase over the mature Immix spaces. *)
+  Vec.iter
+    (fun (o : O.t) -> if O.is_live o t.now then mark_object t ~mdo ~in_pcm:true o)
+    (Immix_space.objects t.mature_pcm);
+  (match t.mature_dram with
+  | Some s ->
+    Vec.iter
+      (fun (o : O.t) -> if O.is_live o t.now then mark_object t ~mdo ~in_pcm:false o)
+      (Immix_space.objects s)
+  | None -> ());
+  (* KG-W movement between mature spaces (§4.2.3). *)
+  (match t.mature_dram with
+  | Some mature_dram ->
+    Vec.iter
+      (fun (o : O.t) ->
+        if O.is_live o t.now && not o.written then begin
+          let old_addr = o.addr in
+          alloc_into_immix t t.mature_pcm o;
+          copy_traffic t ~old_addr o;
+          st.Gc_stats.mature_moves_to_pcm <- st.Gc_stats.mature_moves_to_pcm + 1;
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size;
+          referrer_update_writes t o
+        end)
+      (Immix_space.objects mature_dram);
+    Vec.iter
+      (fun (o : O.t) ->
+        if O.is_live o t.now && o.written && o.space = sp_mature_pcm then begin
+          let old_addr = o.addr in
+          alloc_into_immix t mature_dram o;
+          copy_traffic t ~old_addr o;
+          st.Gc_stats.mature_moves_to_dram <- st.Gc_stats.mature_moves_to_dram + 1;
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size;
+          referrer_update_writes t o
+        end)
+      (Immix_space.objects t.mature_pcm);
+    (* Start a fresh monitoring epoch for the next major cycle. *)
+    let fresh (o : O.t) =
+      o.written <- false;
+      o.epoch_writes <- 0
+    in
+    Vec.iter fresh (Immix_space.objects mature_dram);
+    Vec.iter fresh (Immix_space.objects t.mature_pcm)
+  | None -> ());
+  (* Sweep phase. *)
+  sweep_immix t t.mature_pcm t.mature_pcm_meta;
+  (match t.mature_dram with Some s -> sweep_immix t s t.mature_dram_meta | None -> ());
+  (* Large object spaces: written PCM objects move to the DRAM
+     treadmill and never come back (§4.2.4). *)
+  (match t.los_dram with
+  | Some los_dram ->
+    let evicted = collect_los t t.los_pcm ~keep:(fun o -> not o.O.written) in
+    List.iter
+      (fun (o : O.t) ->
+        adopt_large t los_dram o;
+        o.written <- false;
+        o.epoch_writes <- 0;
+        st.Gc_stats.los_moves_to_dram <- st.Gc_stats.los_moves_to_dram + 1)
+      evicted;
+    ignore (collect_los t los_dram ~keep:(fun _ -> true))
+  | None -> ignore (collect_los t t.los_pcm ~keep:(fun _ -> true)));
+  Vec.iter (fun (o : O.t) -> o.marked <- false) (Immix_space.objects t.mature_pcm);
+  (match t.mature_dram with
+  | Some s -> Vec.iter (fun (o : O.t) -> o.marked <- false) (Immix_space.objects s)
+  | None -> ());
+  (* Optional Immix defragmentation (§6.3): evacuate the sparsest
+     blocks when fragmentation strands too much partial-block memory.
+     The copies go through the normal traffic accounting, making the
+     writes-vs-space tradeoff measurable. *)
+  (match t.cfg.Gc_config.defrag_threshold with
+  | Some threshold when Immix_space.fragmentation t.mature_pcm > threshold ->
+    let victims =
+      Immix_space.defrag_candidates t.mature_pcm ~max_bytes:(Layout.mature_region / 4)
+    in
+    (* Detach the victims from the space's population before
+       re-allocating them, or they would be registered twice. *)
+    List.iter (fun (o : O.t) -> o.space <- -1) victims;
+    Immix_space.remove_foreign t.mature_pcm;
+    List.iter
+      (fun (o : O.t) ->
+        if O.is_live o t.now then begin
+          let old_addr = o.addr in
+          alloc_into_immix t t.mature_pcm o;
+          copy_traffic t ~old_addr o;
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size
+        end)
+      victims;
+    ignore (Immix_space.sweep t.mature_pcm ~now:t.now ())
+  | _ -> ());
+  log_pause t Phase.Major_gc work0;
+  t.gc_hook Phase.Major_gc
+
+let major_gc t =
+  if not t.in_major then begin
+    t.in_major <- true;
+    major_gc_inner t;
+    t.mem.Mem_iface.set_phase Phase.Application;
+    t.in_major <- false;
+    t.pcm_writes_at_last_major <- t.stats.Gc_stats.app_write_bytes_pcm
+  end
+
+let maybe_major t =
+  if heap_used t > t.cfg.Gc_config.heap_bytes then major_gc t
+  else
+    (* Extension (§6.2.1 future work): writes accumulating on PCM
+       objects can themselves justify a full collection, which rescues
+       the written objects into DRAM well before the heap fills. *)
+    match t.cfg.Gc_config.pcm_write_trigger_bytes with
+    | Some limit when t.stats.Gc_stats.app_write_bytes_pcm - t.pcm_writes_at_last_major > limit ->
+      major_gc t
+    | _ -> ()
+
+(* A young collection outside a major: nursery only for the baselines;
+   for KG-W, a plain nursery GC when the observer has room for the
+   expected survivors, otherwise a full observer collection. *)
+let young_gc t =
+  (match t.observer with
+  | Some obs ->
+    let expected =
+      int_of_float (t.recent_survival *. float_of_int (Bump_space.used_bytes t.nursery))
+    in
+    if Bump_space.free_bytes obs < expected * 3 / 2 then collect_observer t
+    else begin
+      let work0 = copied_scanned t.stats in
+      t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+      collect_nursery t;
+      log_pause t Phase.Nursery_gc work0;
+      t.gc_hook Phase.Nursery_gc
+    end
+  | None ->
+    let work0 = copied_scanned t.stats in
+    t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+    collect_nursery t;
+    log_pause t Phase.Nursery_gc work0;
+    t.gc_hook Phase.Nursery_gc);
+  t.mem.Mem_iface.set_phase Phase.Application;
+  maybe_major t
+
+(* ------------------------------------------------------------------ *)
+(* Mutator interface                                                   *)
+
+let alloc_large t (o : O.t) =
+  let st = t.stats in
+  st.Gc_stats.large_allocs <- st.Gc_stats.large_allocs + 1;
+  t.large_alloc_since_gc <- t.large_alloc_since_gc + o.size;
+  let in_nursery_ok =
+    t.loo_enabled && o.size < Bump_space.free_bytes t.nursery / 2
+    && Bump_space.alloc t.nursery o
+  in
+  if in_nursery_ok then begin
+    st.Gc_stats.large_allocs_in_nursery <- st.Gc_stats.large_allocs_in_nursery + 1;
+    st.Gc_stats.nursery_alloc_bytes <- st.Gc_stats.nursery_alloc_bytes + o.size
+  end
+  else if not (Los.alloc (los_for_large t) o) then
+    failwith "Runtime: large object space exhausted"
+
+let rec alloc_small t (o : O.t) =
+  if not (Bump_space.alloc t.nursery o) then begin
+    young_gc t;
+    alloc_small t o
+  end
+  else begin
+    t.stats.Gc_stats.nursery_alloc_bytes <- t.stats.Gc_stats.nursery_alloc_bytes + o.size;
+    t.nursery_alloc_since_gc <- t.nursery_alloc_since_gc + o.size
+  end
+
+let alloc t ~size ~heat ~death ~ref_fields =
+  let size = Layout.align_object_size size in
+  let o = O.make ~id:0 ~size ~heat ~death ~ref_fields in
+  if O.is_large o then alloc_large t o else alloc_small t o;
+  (* Zeroing plus constructor initialisation: one streaming write pass. *)
+  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
+  t.now <- t.now +. float_of_int size;
+  maybe_major t;
+  o
+
+let alloc_boot t ~size ~heat ~ref_fields =
+  let size = Layout.align_object_size size in
+  let o = O.make ~id:0 ~size ~heat ~death:infinity ~ref_fields in
+  if O.is_large o then begin
+    if not (Los.alloc t.los_pcm o) then failwith "Runtime: large object space exhausted"
+  end
+  else alloc_into_immix t t.mature_pcm o;
+  o.age <- 1;
+  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
+  t.now <- t.now +. float_of_int size;
+  o
+
+let classify_app_write t (o : O.t) slot_addr =
+  let st = t.stats in
+  (* Per-object counts feed the Figure 2 concentration analysis, which
+     considers only writes received outside the nursery. *)
+  if o.space <> sp_nursery then o.writes <- o.writes + 1;
+  if o.space = sp_nursery then
+    st.Gc_stats.app_writes_nursery <- st.Gc_stats.app_writes_nursery + 1
+  else if o.space = sp_observer then
+    st.Gc_stats.app_writes_observer <- st.Gc_stats.app_writes_observer + 1
+  else st.Gc_stats.app_writes_mature <- st.Gc_stats.app_writes_mature + 1;
+  match Kg_mem.Address_map.kind_of t.map slot_addr with
+  | Kg_mem.Device.Dram ->
+    st.Gc_stats.app_write_bytes_dram <- st.Gc_stats.app_write_bytes_dram + Layout.word
+  | Kg_mem.Device.Pcm ->
+    st.Gc_stats.app_write_bytes_pcm <- st.Gc_stats.app_write_bytes_pcm + Layout.word
+
+(* The KG-W monitoring slow path (Figure 4, lines 13-17): every store
+   to a non-nursery object also sets the write word in its header. *)
+let monitor_write t (o : O.t) =
+  if o.space <> sp_nursery then begin
+    (* The write word records a count; "written" for placement means
+       reaching the configured threshold (1 reproduces the paper's
+       single bit; higher values are the counting extension). *)
+    o.epoch_writes <- o.epoch_writes + 1;
+    if o.epoch_writes >= t.cfg.Gc_config.write_threshold then o.written <- true;
+    t.mem.Mem_iface.write ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
+    t.stats.Gc_stats.monitor_header_writes <- t.stats.Gc_stats.monitor_header_writes + 1
+  end
+
+let write_ref t ~src ~tgt =
+  let st = t.stats in
+  st.Gc_stats.ref_writes <- st.Gc_stats.ref_writes + 1;
+  let slot_addr = O.field_addr src (Rng.int t.rng 64) in
+  classify_app_write t src slot_addr;
+  let slow = ref false in
+  if src.O.space <> sp_nursery && tgt.O.space = sp_nursery then begin
+    let maddr = Remset.insert t.gen_remset ~slot_addr ~target:tgt in
+    t.mem.Mem_iface.write ~addr:maddr ~size:Layout.word;
+    st.Gc_stats.gen_remset_inserts <- st.Gc_stats.gen_remset_inserts + 1;
+    slow := true
+  end;
+  (match t.obs_remset with
+  | Some rs when src.O.space > sp_observer && tgt.O.space <= sp_observer ->
+    let maddr = Remset.insert rs ~slot_addr ~target:tgt in
+    t.mem.Mem_iface.write ~addr:maddr ~size:Layout.word;
+    st.Gc_stats.obs_remset_inserts <- st.Gc_stats.obs_remset_inserts + 1;
+    slow := true
+  | _ -> ());
+  (match t.cfg.Gc_config.collector with
+  | Gc_config.Kg_writers _ ->
+    monitor_write t src;
+    slow := true
+  | _ -> ());
+  if not !slow then st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1;
+  t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
+
+let write_prim t (o : O.t) =
+  let st = t.stats in
+  st.Gc_stats.prim_writes <- st.Gc_stats.prim_writes + 1;
+  let slot_addr = O.field_addr o (Rng.int t.rng 64) in
+  classify_app_write t o slot_addr;
+  (match t.cfg.Gc_config.collector with
+  | Gc_config.Kg_writers { pm = true; _ } -> monitor_write t o
+  | _ -> st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1);
+  t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
+
+let read_obj t (o : O.t) =
+  t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + 1;
+  t.mem.Mem_iface.read ~addr:(O.field_addr o (Rng.int t.rng 64)) ~size:Layout.word
+
+let read_burst t (o : O.t) n =
+  t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + n;
+  let addr = O.field_addr o (Rng.int t.rng 64) in
+  let size = min (n * Layout.word) (o.size - (addr - o.addr)) in
+  t.mem.Mem_iface.read ~addr ~size:(max Layout.word size)
+
+let flush_retirement_stats t =
+  let st = t.stats in
+  let each (o : O.t) = if O.is_live o t.now then Gc_stats.retire st o in
+  Vec.iter each (Immix_space.objects t.mature_pcm);
+  (match t.mature_dram with Some s -> Vec.iter each (Immix_space.objects s) | None -> ());
+  (match t.observer with Some obs -> Vec.iter each (Bump_space.objects obs) | None -> ());
+  Los.iter t.los_pcm each;
+  match t.los_dram with Some l -> Los.iter l each | None -> ()
+
+let nursery_free t = Bump_space.free_bytes t.nursery
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_population name expected_id objs =
+    Vec.fold
+      (fun acc (o : O.t) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if o.space <> expected_id then
+            fail "%s holds object at %#x with space id %d (expected %d)" name o.addr o.space
+              expected_id
+          else if o.addr < 0 then fail "%s holds an unallocated object" name
+          else Ok ())
+      (Ok ()) objs
+  in
+  let no_overlap name objs =
+    let live =
+      Vec.fold (fun acc (o : O.t) -> if O.is_live o t.now then o :: acc else acc) [] objs
+    in
+    let sorted = List.sort (fun (a : O.t) b -> compare a.addr b.addr) live in
+    let rec go = function
+      | (a : O.t) :: (b : O.t) :: rest ->
+        if O.end_addr a > b.addr then
+          fail "%s: live objects overlap at %#x and %#x" name a.addr b.addr
+        else go (b :: rest)
+      | _ -> Ok ()
+    in
+    go sorted
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  check_population "nursery" sp_nursery (Bump_space.objects t.nursery) >>= fun () ->
+  (match t.observer with
+  | Some obs -> check_population "observer" sp_observer (Bump_space.objects obs)
+  | None -> Ok ())
+  >>= fun () ->
+  check_population "mature-pcm" sp_mature_pcm (Immix_space.objects t.mature_pcm) >>= fun () ->
+  (match t.mature_dram with
+  | Some s -> check_population "mature-dram" sp_mature_dram (Immix_space.objects s)
+  | None -> Ok ())
+  >>= fun () ->
+  no_overlap "nursery" (Bump_space.objects t.nursery) >>= fun () ->
+  no_overlap "mature-pcm" (Immix_space.objects t.mature_pcm) >>= fun () ->
+  (match t.mature_dram with
+  | Some s -> no_overlap "mature-dram" (Immix_space.objects s)
+  | None -> Ok ())
+  >>= fun () ->
+  let u = usage t in
+  if
+    heap_used t
+    <> u.nursery_used + u.observer_used + u.mature_dram_used + u.mature_pcm_used
+       + u.los_dram_used + u.los_pcm_used
+  then fail "usage components disagree with heap_used"
+  else if dram_used t + pcm_used t <> heap_used t + u.meta_used then
+    fail "device attribution disagrees with totals"
+  else Ok ()

@@ -1,0 +1,132 @@
+(** The managed runtime: allocation, write barriers, and the three
+    collector families of the paper (§4).
+
+    One runtime implements all configurations, exactly as the paper's
+    collectors share the GenImmix infrastructure:
+
+    - {b GenImmix} (Figure 3a): DRAM-only or PCM-only. Copying nursery;
+      survivors promote to an Immix mature space; large objects go to a
+      treadmill space; all spaces and metadata live in the one memory.
+    - {b Kingsguard-nursery} (Figure 3b): the nursery maps to DRAM;
+      mature, large and metadata spaces map to PCM.
+    - {b Kingsguard-writers} (Figure 3c): DRAM nursery and observer
+      space; mature DRAM + mature PCM Immix spaces; large DRAM + large
+      PCM treadmills; metadata in DRAM. The write barrier monitors all
+      non-nursery writes in a header write-word; observer collections
+      send written survivors to mature DRAM and the rest to mature PCM;
+      major collections move written PCM objects back to DRAM and
+      unwritten DRAM objects out to PCM. LOO gives large objects a
+      chance to die in the nursery; MDO keeps PCM mark states in DRAM
+      tables.
+
+    "Time" throughout is the allocation clock: total bytes allocated so
+    far, which is also the unit of the objects' oracle death stamps. *)
+
+type t
+
+type space_usage = {
+  nursery_used : int;
+  observer_used : int;
+  mature_dram_used : int;
+  mature_pcm_used : int;
+  los_dram_used : int;
+  los_pcm_used : int;
+  meta_used : int;
+}
+
+val create :
+  config:Gc_config.t ->
+  mem:Mem_iface.t ->
+  map:Kg_mem.Address_map.t ->
+  seed:int ->
+  unit ->
+  t
+(** The address map must have a DRAM region for Kingsguard configs and
+    at least one region matching each space placement. For GenImmix the
+    single region of the map hosts every space. *)
+
+val config : t -> Gc_config.t
+val stats : t -> Gc_stats.t
+val now : t -> float
+(** Allocation clock: bytes allocated so far. *)
+
+val alloc :
+  t ->
+  size:int ->
+  heat:Kg_heap.Object_model.heat ->
+  death:float ->
+  ref_fields:int ->
+  Kg_heap.Object_model.t
+(** Allocate and zero-initialise an object, collecting first if the
+    nursery is full. [death] is an absolute allocation-clock stamp.
+    Objects above 8 KB take the large-object path. *)
+
+val alloc_boot :
+  t ->
+  size:int ->
+  heat:Kg_heap.Object_model.heat ->
+  ref_fields:int ->
+  Kg_heap.Object_model.t
+(** Allocate an immortal boot-image object directly into the mature
+    space (large ones into the large object space), bypassing the
+    nursery and the demographic counters — like the pre-built boot
+    image of a Java-in-Java VM. *)
+
+val write_ref :
+  t -> src:Kg_heap.Object_model.t -> tgt:Kg_heap.Object_model.t -> unit
+(** A reference store into a field of [src] pointing at [tgt], running
+    the Figure 4 barrier: generational and observer remembered-set
+    insertion plus (KG-W) write-word monitoring. *)
+
+val write_prim : t -> Kg_heap.Object_model.t -> unit
+(** A primitive store into [src]; monitored only when the config has
+    primitive monitoring (KG-W vs KG-W–PM). *)
+
+val read_obj : t -> Kg_heap.Object_model.t -> unit
+(** A field read (load traffic only). *)
+
+val read_burst : t -> Kg_heap.Object_model.t -> int -> unit
+(** [read_burst t o n] models streaming [n] consecutive words out of
+    [o] (array traversal): one contiguous load, [n] read events. *)
+
+val major_gc : t -> unit
+(** Force a full-heap collection. *)
+
+val heap_used : t -> int
+(** Object-space occupancy driving the full-heap trigger. *)
+
+val usage : t -> space_usage
+
+val dram_used : t -> int
+(** Heap + metadata bytes currently in DRAM-backed spaces. *)
+
+val pcm_used : t -> int
+
+val live_large_bytes : t -> int
+
+val set_gc_hook : t -> (Phase.t -> unit) -> unit
+(** Invoked at the end of every collection — the Figure 13 heap
+    composition traces sample usage from here. *)
+
+val is_young : Kg_heap.Object_model.t -> bool
+(** In the nursery or observer space. *)
+
+val in_nursery : Kg_heap.Object_model.t -> bool
+
+val object_in_pcm : t -> Kg_heap.Object_model.t -> bool
+(** Does the object currently reside in a PCM-backed space? *)
+
+val flush_retirement_stats : t -> unit
+(** Record the write counts of still-live mature objects into the
+    Figure 2 concentration statistic (normally only captured at
+    death). Call once, at the end of a run. *)
+
+val nursery_free : t -> int
+(** Allocation headroom before the next nursery collection (the
+    lifetime model clamps short-lived objects against it). *)
+
+val check_invariants : t -> (unit, string) result
+(** Heavy-weight consistency check for tests and debugging: space
+    membership matches each object's [space] id, live objects in a
+    space never overlap, and usage accounting is internally consistent.
+    Returns [Error description] on the first violation. *)

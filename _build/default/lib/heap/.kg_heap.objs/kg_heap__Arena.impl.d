@@ -1,0 +1,1 @@
+lib/heap/arena.ml: Kg_mem Layout Printf

@@ -1,0 +1,1 @@
+lib/heap/arena.mli: Kg_mem

@@ -1,0 +1,1 @@
+lib/heap/bump_space.ml: Arena Kg_mem Kg_util Object_model Vec

@@ -1,0 +1,1 @@
+lib/heap/bump_space.mli: Arena Kg_mem Kg_util Object_model

@@ -1,0 +1,1 @@
+lib/heap/freelist_space.ml: Arena Array Hashtbl Kg_util Layout Object_model Vec

@@ -1,0 +1,1 @@
+lib/heap/freelist_space.mli: Arena Kg_util Object_model

@@ -1,0 +1,1 @@
+lib/heap/immix_space.ml: Arena Array Bytes Kg_util Layout List Object_model Vec

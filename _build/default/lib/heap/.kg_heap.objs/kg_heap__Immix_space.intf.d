@@ -1,0 +1,1 @@
+lib/heap/immix_space.mli: Arena Kg_mem Kg_util Object_model

@@ -1,0 +1,1 @@
+lib/heap/los.ml: Arena Layout Object_model

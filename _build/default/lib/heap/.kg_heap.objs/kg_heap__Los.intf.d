@@ -1,0 +1,1 @@
+lib/heap/los.mli: Arena Kg_mem Object_model

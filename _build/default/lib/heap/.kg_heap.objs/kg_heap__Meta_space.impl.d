@@ -1,0 +1,1 @@
+lib/heap/meta_space.ml: Arena

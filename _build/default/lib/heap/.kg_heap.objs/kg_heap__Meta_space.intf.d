@@ -1,0 +1,1 @@
+lib/heap/meta_space.mli: Arena Kg_mem

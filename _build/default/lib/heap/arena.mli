@@ -1,0 +1,23 @@
+(** Carves virtual address ranges for heap spaces out of a device
+    region.
+
+    The simulator identity-maps virtual to physical addresses (except
+    under OS write partitioning, which owns its own page table), so
+    placing a space in the DRAM or PCM arena decides which device its
+    traffic hits. Requests are rounded up to the 4 KB page granularity,
+    matching "requests to the OS are at the page granularity" (§4.1). *)
+
+type t
+
+val create : kind:Kg_mem.Device.kind -> base:int -> size:int -> t
+
+val kind : t -> Kg_mem.Device.kind
+
+val reserve : t -> int -> int
+(** [reserve t bytes] returns the base address of a fresh page-aligned
+    range. Raises [Failure] when the arena is exhausted. *)
+
+val reserved_bytes : t -> int
+val remaining : t -> int
+val base : t -> int
+val limit : t -> int

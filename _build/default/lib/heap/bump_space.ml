@@ -1,0 +1,52 @@
+open Kg_util
+
+type t = {
+  id : int;
+  name : string;
+  base : int;
+  limit : int;
+  kind : Kg_mem.Device.kind;
+  mutable cursor : int;
+  objects : Object_model.t Vec.t;
+}
+
+let create ~id ~name ~arena ~size =
+  let base = Arena.reserve arena size in
+  {
+    id;
+    name;
+    base;
+    limit = base + size;
+    kind = Arena.kind arena;
+    cursor = base;
+    objects = Vec.create ();
+  }
+
+let id t = t.id
+let name t = t.name
+let size t = t.limit - t.base
+let base t = t.base
+let kind t = t.kind
+
+let alloc t (o : Object_model.t) =
+  if t.cursor + o.size > t.limit then false
+  else begin
+    o.addr <- t.cursor;
+    o.space <- t.id;
+    t.cursor <- t.cursor + o.size;
+    Vec.push t.objects o;
+    true
+  end
+
+let free_bytes t = t.limit - t.cursor
+let used_bytes t = t.cursor - t.base
+let is_empty t = Vec.is_empty t.objects
+
+let objects t = t.objects
+
+let reset t =
+  Vec.clear t.objects;
+  t.cursor <- t.base
+
+let live_bytes t ~now =
+  Vec.fold (fun acc o -> if Object_model.is_live o now then acc + o.Object_model.size else acc) 0 t.objects

@@ -1,0 +1,106 @@
+open Kg_util
+
+(* Word-spaced classes up to 128 B, then geometric to the small-object
+   limit: the MMTk mark-sweep class ladder. *)
+let size_classes =
+  [| 16; 24; 32; 40; 48; 56; 64; 80; 96; 112; 128; 160; 192; 256; 320; 384; 512; 640; 768;
+     1024; 1280; 1536; 2048; 3072; 4096; 6144; 8192 |]
+
+type t = {
+  id : int;
+  name : string;
+  arena : Arena.t;
+  free : int list array;  (* per-class free cell addresses *)
+  mutable footprint : int;
+  mutable live : int;
+  mutable cells : int;  (* bytes occupied counted in cell sizes *)
+  mutable nfree : int;
+  objects : Object_model.t Vec.t;
+  class_of_obj : (int, int) Hashtbl.t;  (* object id is unusable (always 0); key by address *)
+}
+
+let create ~id ~name ~arena =
+  {
+    id;
+    name;
+    arena;
+    free = Array.make (Array.length size_classes) [];
+    footprint = 0;
+    live = 0;
+    cells = 0;
+    nfree = 0;
+    objects = Vec.create ();
+    class_of_obj = Hashtbl.create 1024;
+  }
+
+let id t = t.id
+let name t = t.name
+
+let class_index size =
+  let rec go i =
+    if i >= Array.length size_classes then
+      invalid_arg "Freelist_space.alloc: large object"
+    else if size_classes.(i) >= size then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Carve one 32 KB block into cells of one class. *)
+let grow_class t ci =
+  if Arena.remaining t.arena < Layout.block then false
+  else begin
+    let base = Arena.reserve t.arena Layout.block in
+    t.footprint <- t.footprint + Layout.block;
+    let cell = size_classes.(ci) in
+    let n = Layout.block / cell in
+    for i = n - 1 downto 0 do
+      t.free.(ci) <- (base + (i * cell)) :: t.free.(ci)
+    done;
+    t.nfree <- t.nfree + n;
+    true
+  end
+
+let rec alloc t (o : Object_model.t) =
+  let ci = class_index o.size in
+  match t.free.(ci) with
+  | addr :: rest ->
+    t.free.(ci) <- rest;
+    t.nfree <- t.nfree - 1;
+    o.addr <- addr;
+    o.space <- t.id;
+    t.live <- t.live + o.size;
+    t.cells <- t.cells + size_classes.(ci);
+    Hashtbl.replace t.class_of_obj addr ci;
+    Vec.push t.objects o;
+    true
+  | [] -> grow_class t ci && alloc t o
+
+let sweep t ~now ?(on_dead = fun _ -> ()) () =
+  let reclaimed = ref 0 in
+  Vec.filter_in_place
+    (fun (o : Object_model.t) ->
+      if o.space <> t.id then false
+      else if Object_model.is_live o now then true
+      else begin
+        let ci =
+          match Hashtbl.find_opt t.class_of_obj o.addr with
+          | Some ci -> ci
+          | None -> class_index o.size
+        in
+        Hashtbl.remove t.class_of_obj o.addr;
+        t.free.(ci) <- o.addr :: t.free.(ci);
+        t.nfree <- t.nfree + 1;
+        t.live <- t.live - o.size;
+        t.cells <- t.cells - size_classes.(ci);
+        reclaimed := !reclaimed + o.size;
+        on_dead o;
+        false
+      end)
+    t.objects;
+  !reclaimed
+
+let objects t = t.objects
+let live_bytes t = t.live
+let cell_bytes t = t.cells
+let footprint_bytes t = t.footprint
+let free_cells t = t.nfree

@@ -1,0 +1,47 @@
+(** Segregated-fit free-list mark-sweep space.
+
+    The allocator family GenImmix is measured against: §3 notes that
+    "contiguous allocation is known to outperform free-list allocators
+    due to its locality benefits", which is why Immix bump-allocates
+    into lines. This space implements the classic alternative — MMTk's
+    mark-sweep layout — so the claim is testable here: blocks are
+    dedicated to a size class and divided into equal cells; allocation
+    pops the class's free list (scattered addresses), and a sweep
+    returns dead cells. Objects never move.
+
+    Used by the allocator-comparison experiment and available as a
+    drop-in non-moving mature space for custom runtimes. *)
+
+type t
+
+val size_classes : int array
+(** Cell sizes in bytes, ascending; requests round up to the next
+    class (the last class is the 8 KB small-object limit). *)
+
+val create : id:int -> name:string -> arena:Arena.t -> t
+
+val id : t -> int
+val name : t -> string
+
+val alloc : t -> Object_model.t -> bool
+(** Place the object in a free cell of its size class, taking fresh
+    blocks from the arena as needed. [false] once the arena is
+    exhausted. *)
+
+val sweep :
+  t -> now:float -> ?on_dead:(Object_model.t -> unit) -> unit -> int
+(** Mark-sweep: drop dead objects, return their cells to the free
+    lists, and report the bytes reclaimed. *)
+
+val objects : t -> Object_model.t Kg_util.Vec.t
+val live_bytes : t -> int
+(** Object-level occupancy. *)
+
+val cell_bytes : t -> int
+(** Occupancy in cells — [cell_bytes - live_bytes] is the internal
+    fragmentation a segregated-fit allocator pays. *)
+
+val footprint_bytes : t -> int
+(** Virtual memory reserved from the arena. *)
+
+val free_cells : t -> int

@@ -1,0 +1,287 @@
+open Kg_util
+
+type block = {
+  b_base : int;
+  b_index : int;
+  line_marks : Bytes.t;
+  mutable marked_lines : int;
+}
+
+type sweep_stats = {
+  swept_objects : int;
+  swept_bytes : int;
+  free_blocks : int;
+  recyclable_blocks : int;
+  full_blocks : int;
+  marked_lines : int;
+}
+
+type t = {
+  id : int;
+  name : string;
+  arena : Arena.t;
+  on_new_region : base:int -> unit;
+  blocks : block Vec.t;
+  mutable region_bases : int array;  (* sorted, for addr -> block lookup *)
+  mutable avail : block list;  (* allocation order: recyclable then free *)
+  mutable cur : block option;
+  mutable scan_line : int;  (* next line to consider in [cur] *)
+  mutable cursor : int;
+  mutable cursor_limit : int;
+  objects : Object_model.t Vec.t;
+  mutable live_bytes : int;
+}
+
+let blocks_per_region = Layout.mature_region / Layout.block
+
+let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) () =
+  {
+    id;
+    name;
+    arena;
+    on_new_region;
+    blocks = Vec.create ();
+    region_bases = [||];
+    avail = [];
+    cur = None;
+    scan_line = 0;
+    cursor = 0;
+    cursor_limit = 0;
+    objects = Vec.create ();
+    live_bytes = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let kind t = Arena.kind t.arena
+let objects t = t.objects
+let live_bytes t = t.live_bytes
+let footprint_bytes t = Array.length t.region_bases * Layout.mature_region
+let region_count t = Array.length t.region_bases
+let region_bases t = Array.copy t.region_bases
+let meta_bytes_per_block = Layout.lines_per_block
+
+let grow_region t =
+  let base = Arena.reserve t.arena Layout.mature_region in
+  t.region_bases <- Array.append t.region_bases [| base |];
+  Array.sort compare t.region_bases;
+  let fresh = ref [] in
+  for i = 0 to blocks_per_region - 1 do
+    let b =
+      {
+        b_base = base + (i * Layout.block);
+        b_index = Vec.length t.blocks;
+        line_marks = Bytes.make Layout.lines_per_block '\000';
+        marked_lines = 0;
+      }
+    in
+    Vec.push t.blocks b;
+    fresh := b :: !fresh
+  done;
+  t.avail <- t.avail @ List.rev !fresh;
+  t.on_new_region ~base
+
+(* Next run of free lines in [b] starting at or after [from]. *)
+let next_free_run b from =
+  let n = Layout.lines_per_block in
+  let rec find_start i = if i >= n then None else if Bytes.get b.line_marks i = '\000' then Some i else find_start (i + 1) in
+  match find_start from with
+  | None -> None
+  | Some start ->
+    let rec find_end i = if i >= n || Bytes.get b.line_marks i <> '\000' then i else find_end (i + 1) in
+    Some (start, find_end start)
+
+let rec refill t =
+  match t.cur with
+  | Some b -> begin
+    match next_free_run b t.scan_line with
+    | Some (start, stop) ->
+      t.cursor <- b.b_base + (start * Layout.line);
+      t.cursor_limit <- b.b_base + (stop * Layout.line);
+      t.scan_line <- stop + 1;
+      true
+    | None ->
+      t.cur <- None;
+      refill t
+  end
+  | None -> begin
+    match t.avail with
+    | b :: rest ->
+      t.avail <- rest;
+      t.cur <- Some b;
+      t.scan_line <- 0;
+      t.cursor <- 0;
+      t.cursor_limit <- 0;
+      refill t
+    | [] ->
+      if Arena.remaining t.arena >= Layout.mature_region then begin
+        grow_region t;
+        refill t
+      end
+      else false
+  end
+
+let rec alloc t (o : Object_model.t) =
+  if o.size > Layout.max_small_object then invalid_arg "Immix_space.alloc: large object";
+  if t.cursor + o.size <= t.cursor_limit then begin
+    o.addr <- t.cursor;
+    o.space <- t.id;
+    t.cursor <- t.cursor + o.size;
+    t.live_bytes <- t.live_bytes + o.size;
+    Vec.push t.objects o;
+    true
+  end
+  else if refill t then alloc t o
+  else false
+
+let region_index_of_addr t addr =
+  (* Binary search the region containing [addr]. *)
+  let bases = t.region_bases in
+  let lo = ref 0 and hi = ref (Array.length bases - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if addr < bases.(mid) then hi := mid - 1
+    else if addr >= bases.(mid) + Layout.mature_region then lo := mid + 1
+    else begin
+      found := mid;
+      lo := !hi + 1
+    end
+  done;
+  if !found < 0 then invalid_arg "Immix_space: address not in space";
+  !found
+
+let region_base_of_addr t addr = t.region_bases.(region_index_of_addr t addr)
+
+let block_of_addr t addr =
+  let found = ref (region_index_of_addr t addr) in
+  let base = t.region_bases.(!found) in
+  (* Blocks were appended region by region; recover the block id from
+     the region's position in allocation order. Regions are reserved
+     from a bump arena, so allocation order equals address order. *)
+  let region_block0 = !found * blocks_per_region in
+  let b = Vec.get t.blocks (region_block0 + ((addr - base) / Layout.block)) in
+  b
+
+let mark_lines t (o : Object_model.t) =
+  let b = block_of_addr t o.addr in
+  let first = (o.addr - b.b_base) / Layout.line in
+  let last = (o.addr + o.size - 1 - b.b_base) / Layout.line in
+  for l = first to min last (Layout.lines_per_block - 1) do
+    if Bytes.get b.line_marks l = '\000' then begin
+      Bytes.set b.line_marks l '\001';
+      b.marked_lines <- b.marked_lines + 1
+    end
+  done
+
+let remove_foreign t =
+  Vec.filter_in_place (fun (o : Object_model.t) -> o.space = t.id) t.objects
+
+let recyclable_free_lines t =
+  Vec.fold
+    (fun acc (b : block) ->
+      if b.marked_lines > 0 && b.marked_lines < Layout.lines_per_block then
+        acc + (Layout.lines_per_block - b.marked_lines)
+      else acc)
+    0 t.blocks
+
+let fragmentation t =
+  let partial_lines =
+    Vec.fold
+      (fun acc (b : block) ->
+        if b.marked_lines > 0 && b.marked_lines < Layout.lines_per_block then
+          acc + Layout.lines_per_block
+        else acc)
+      0 t.blocks
+  in
+  if partial_lines = 0 then 0.0
+  else float_of_int (recyclable_free_lines t) /. float_of_int partial_lines
+
+let defrag_candidates t ~max_bytes =
+  (* Rank recyclable blocks emptiest-first (fewest marked lines), then
+     take their residents until the budget is spent: moving the fewest
+     objects frees the most blocks, as Immix does. *)
+  let sparse =
+    Vec.fold
+      (fun acc (b : block) ->
+        if b.marked_lines > 0 && b.marked_lines < Layout.lines_per_block / 4 then b :: acc
+        else acc)
+      [] t.blocks
+  in
+  let sparse = List.sort (fun (a : block) b -> compare a.marked_lines b.marked_lines) sparse in
+  let in_block (b : block) (o : Object_model.t) =
+    o.addr >= b.b_base && o.addr < b.b_base + Layout.block
+  in
+  let budget = ref max_bytes in
+  let picked = ref [] in
+  List.iter
+    (fun b ->
+      if !budget > 0 then
+        Vec.iter
+          (fun (o : Object_model.t) ->
+            if in_block b o && !budget > 0 then begin
+              picked := o :: !picked;
+              budget := !budget - o.size
+            end)
+          t.objects)
+    sparse;
+  !picked
+
+let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = fun _ -> ()) () =
+  let swept_objects = ref 0 and swept_bytes = ref 0 in
+  Vec.filter_in_place
+    (fun (o : Object_model.t) ->
+      if o.space <> t.id then false
+      else if Object_model.is_live o now then true
+      else begin
+        incr swept_objects;
+        swept_bytes := !swept_bytes + o.size;
+        on_dead o;
+        false
+      end)
+    t.objects;
+  Vec.iter
+    (fun (b : block) ->
+      Bytes.fill b.line_marks 0 Layout.lines_per_block '\000';
+      b.marked_lines <- 0)
+    t.blocks;
+  let live = ref 0 in
+  Vec.iter
+    (fun (o : Object_model.t) ->
+      live := !live + o.size;
+      mark_lines t o)
+    t.objects;
+  t.live_bytes <- !live;
+  let free = ref [] and recyclable = ref [] in
+  let nfree = ref 0 and nrec = ref 0 and nfull = ref 0 and marked = ref 0 in
+  Vec.iter
+    (fun (b : block) ->
+      marked := !marked + b.marked_lines;
+      if b.marked_lines = 0 then begin
+        incr nfree;
+        free := b :: !free
+      end
+      else if b.marked_lines < Layout.lines_per_block then begin
+        incr nrec;
+        recyclable := b :: !recyclable;
+        write_meta ~block_index:b.b_index ~lines:b.marked_lines
+      end
+      else begin
+        incr nfull;
+        write_meta ~block_index:b.b_index ~lines:b.marked_lines
+      end)
+    t.blocks;
+  (* Allocation prefers partially filled blocks, then empty ones (§3). *)
+  t.avail <- List.rev !recyclable @ List.rev !free;
+  t.cur <- None;
+  t.cursor <- 0;
+  t.cursor_limit <- 0;
+  t.scan_line <- 0;
+  {
+    swept_objects = !swept_objects;
+    swept_bytes = !swept_bytes;
+    free_blocks = !nfree;
+    recyclable_blocks = !nrec;
+    full_blocks = !nfull;
+    marked_lines = !marked;
+  }

@@ -1,0 +1,95 @@
+(* Treadmill nodes form a circular doubly-linked list anchored at a
+   sentinel, so snap/unsnap are O(1) as in the real collector. *)
+
+type node = {
+  mutable obj : Object_model.t option;  (* None for the sentinel *)
+  mutable prev : node;
+  mutable next : node;
+}
+
+type t = {
+  id : int;
+  name : string;
+  arena : Arena.t;
+  mutable from_anchor : node;
+  mutable live_bytes : int;
+  mutable count : int;
+  mutable total_allocated : int;
+}
+
+let new_anchor () =
+  let rec n = { obj = None; prev = n; next = n } in
+  n
+
+let create ~id ~name ~arena =
+  { id; name; arena; from_anchor = new_anchor (); live_bytes = 0; count = 0; total_allocated = 0 }
+
+let id t = t.id
+let name t = t.name
+let kind t = Arena.kind t.arena
+
+let snap anchor o =
+  let n = { obj = Some o; prev = anchor.prev; next = anchor } in
+  anchor.prev.next <- n;
+  anchor.prev <- n
+
+let alloc t (o : Object_model.t) =
+  if Arena.remaining t.arena < Layout.align_up o.size Layout.page then false
+  else begin
+    o.addr <- Arena.reserve t.arena o.size;
+    o.space <- t.id;
+    snap t.from_anchor o;
+    t.live_bytes <- t.live_bytes + o.size;
+    t.count <- t.count + 1;
+    t.total_allocated <- t.total_allocated + o.size;
+    true
+  end
+
+let adopt t (o : Object_model.t) =
+  o.addr <- Arena.reserve t.arena o.size;
+  o.space <- t.id;
+  snap t.from_anchor o;
+  t.live_bytes <- t.live_bytes + o.size;
+  t.count <- t.count + 1;
+  t.total_allocated <- t.total_allocated + o.size
+
+let collect t ~now ~keep ?(on_dead = fun _ -> ()) () =
+  let to_anchor = new_anchor () in
+  let evicted = ref [] in
+  let live = ref 0 and count = ref 0 in
+  let rec walk n =
+    if n != t.from_anchor then begin
+      let next = n.next in
+      (match n.obj with
+      | None -> ()
+      | Some o ->
+        if Object_model.is_live o now then begin
+          if keep o then begin
+            snap to_anchor o;
+            live := !live + o.Object_model.size;
+            incr count
+          end
+          else evicted := o :: !evicted
+        end
+        else (* not snapped; its pages are reclaimed *) on_dead o);
+      walk next
+    end
+  in
+  walk t.from_anchor.next;
+  t.from_anchor <- to_anchor;
+  t.live_bytes <- !live;
+  t.count <- !count;
+  !evicted
+
+let iter t f =
+  let rec walk n =
+    if n != t.from_anchor then begin
+      (match n.obj with Some o -> f o | None -> ());
+      walk n.next
+    end
+  in
+  walk t.from_anchor.next
+
+let live_bytes t = t.live_bytes
+let object_count t = t.count
+let allocated_bytes_total t = t.total_allocated

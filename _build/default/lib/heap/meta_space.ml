@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  arena : Arena.t;
+  mutable usage : int;
+  mutable high_water : int;
+}
+
+let create ~id ~name:_ ~arena = { id; arena; usage = 0; high_water = 0 }
+
+let id t = t.id
+let kind t = Arena.kind t.arena
+
+let alloc_table t bytes =
+  let addr = Arena.reserve t.arena bytes in
+  t.usage <- t.usage + bytes;
+  if t.usage > t.high_water then t.high_water <- t.usage;
+  addr
+
+let free_table t bytes = t.usage <- max 0 (t.usage - bytes)
+
+let usage_bytes t = t.usage
+let high_water_bytes t = t.high_water

@@ -1,0 +1,28 @@
+(** Runtime/GC metadata region.
+
+    Holds everything the JVM writes besides objects: remembered-set
+    buffers, Immix line/block mark bytes, and (under MDO) the mark-state
+    tables for 4 MB PCM mature regions. Its placement decides where that
+    metadata traffic lands: the single memory for the baselines, PCM for
+    KG-N (Figure 3b), DRAM for KG-W (Figure 3c). *)
+
+type t
+
+val create : id:int -> name:string -> arena:Arena.t -> t
+
+val id : t -> int
+val kind : t -> Kg_mem.Device.kind
+
+val alloc_table : t -> int -> int
+(** [alloc_table t bytes] reserves a metadata table and returns its
+    address. *)
+
+val free_table : t -> int -> unit
+(** Account the release of [bytes] of table space (when a 4 MB PCM
+    region is freed its DRAM mark table goes too, §4.2.5). Storage is
+    bump-allocated, so this only adjusts the usage figure. *)
+
+val usage_bytes : t -> int
+(** Current table bytes minus freed ones (Table 4 "metadata MB"). *)
+
+val high_water_bytes : t -> int

@@ -1,0 +1,43 @@
+type heat = Cold | Warm | Hot
+
+type t = {
+  id : int;
+  size : int;
+  heat : heat;
+  death : float;
+  ref_fields : int;
+  mutable addr : int;
+  mutable space : int;
+  mutable written : bool;
+  mutable marked : bool;
+  mutable age : int;
+  mutable writes : int;
+  mutable epoch_writes : int;
+}
+
+let make ~id ~size ~heat ~death ~ref_fields =
+  if size < Layout.min_object then invalid_arg "Object_model.make: size below minimum";
+  {
+    id;
+    size;
+    heat;
+    death;
+    ref_fields;
+    addr = -1;
+    space = -1;
+    written = false;
+    marked = false;
+    age = 0;
+    writes = 0;
+    epoch_writes = 0;
+  }
+
+let is_large o = o.size > Layout.max_small_object
+let is_small16 o = o.size <= Layout.small_mark_threshold
+let is_live o now = o.death > now
+let end_addr o = o.addr + o.size
+
+let field_addr o i =
+  let payload = max Layout.word (o.size - Layout.header_bytes) in
+  let slots = payload / Layout.word in
+  o.addr + Layout.header_bytes + (i mod slots * Layout.word)

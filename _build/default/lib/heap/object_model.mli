@@ -1,0 +1,49 @@
+(** The simulated Java object.
+
+    Liveness is an oracle: the workload stamps each object with the
+    global allocation volume at which it becomes unreachable, the
+    standard trace-driven alternative to tracing a concrete pointer
+    graph. Everything the collectors of the paper observe — size, age
+    (which space it has reached), the write word, the mark state — is
+    explicit mutable state here. *)
+
+type heat = Cold | Warm | Hot
+(** Write-hotness class assigned by the workload: [Hot] objects are the
+    top-2 % that take 81 % of mature writes, [Warm] the next 8 % (12 %
+    of writes), [Cold] the rest (Figure 2). *)
+
+type t = {
+  id : int;
+  size : int;  (** bytes, header included, word-aligned *)
+  heat : heat;
+  death : float;  (** allocation-volume timestamp at which it dies *)
+  ref_fields : int;  (** number of reference slots, for barrier traffic *)
+  mutable addr : int;  (** current virtual address *)
+  mutable space : int;  (** id of the space currently holding it *)
+  mutable written : bool;  (** KG-W write-word bit *)
+  mutable marked : bool;  (** mark state (header or mark-table backed) *)
+  mutable age : int;  (** collections survived *)
+  mutable writes : int;  (** lifetime write count (instrumentation for Figure 2) *)
+  mutable epoch_writes : int;
+      (** monitored writes since the last placement decision — the
+          write word's count, enabling threshold placement policies *)
+}
+
+val make :
+  id:int -> size:int -> heat:heat -> death:float -> ref_fields:int -> t
+(** Fresh unallocated object ([addr] = -1, [space] = -1). *)
+
+val is_large : t -> bool
+(** Larger than the 8 KB small-object threshold. *)
+
+val is_small16 : t -> bool
+(** At most 16 B: keeps its mark bit in the header under MDO. *)
+
+val is_live : t -> float -> bool
+(** [is_live o now]: has the oracle death time not yet passed? *)
+
+val end_addr : t -> int
+
+val field_addr : t -> int -> int
+(** Address of the i-th word-sized field (for write traffic); wraps
+    within the object payload. *)

@@ -1,0 +1,1 @@
+lib/mem/device.mli: Format

@@ -1,0 +1,1 @@
+lib/mem/wear.ml: Array Kg_util

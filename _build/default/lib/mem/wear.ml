@@ -1,0 +1,81 @@
+type t = {
+  line_size : int;
+  lines : int;  (* logical lines; physical lines = lines + 1 (the gap) *)
+  gap_interval : int;
+  mutable gap : int;  (* physical position of the gap line *)
+  mutable start : int;  (* rotation offset: grows by 1 per full gap sweep *)
+  mutable writes_since_move : int;
+  mutable total_writes : int;
+  mutable rotations : int;
+  (* Per-physical-line write counts, bucketed to bound memory: each
+     bucket covers [lines_per_bucket] adjacent physical lines. *)
+  buckets : int array;
+  lines_per_bucket : int;
+}
+
+let create ?(line_size = 256) ?(gap_interval = 128) ~size () =
+  if size <= 0 || size mod line_size <> 0 then
+    invalid_arg "Wear.create: size must be a positive multiple of line_size";
+  let lines = size / line_size in
+  let nbuckets = min lines 65536 in
+  {
+    line_size;
+    lines;
+    gap_interval;
+    gap = lines;  (* gap starts just past the last logical line *)
+    start = 0;
+    writes_since_move = 0;
+    total_writes = 0;
+    rotations = 0;
+    buckets = Array.make nbuckets 0;
+    lines_per_bucket = (lines + nbuckets - 1) / nbuckets;
+  }
+
+(* Start-Gap address translation: logical line [l] maps to physical
+   [(l + start) mod (lines+1)], skipping over the gap by adding one when
+   the target is at or past it. *)
+let physical_line t logical =
+  let p = (logical + t.start) mod (t.lines + 1) in
+  if p >= t.gap then (p + 1) mod (t.lines + 1) else p
+
+let line_of_offset t offset =
+  if offset < 0 || offset >= t.lines * t.line_size then
+    invalid_arg "Wear.line_of_offset: offset out of range";
+  physical_line t (offset / t.line_size)
+
+let move_gap t =
+  (* The gap swaps with its neighbour, moving down one slot; when it
+     wraps, the whole mapping has rotated by one line. *)
+  if t.gap = 0 then begin
+    t.gap <- t.lines;
+    t.start <- (t.start + 1) mod (t.lines + 1);
+    if t.start = 0 then t.rotations <- t.rotations + 1
+  end
+  else t.gap <- t.gap - 1
+
+let record_write t offset =
+  let phys = line_of_offset t offset in
+  let b = min (Array.length t.buckets - 1) (phys / t.lines_per_bucket) in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.total_writes <- t.total_writes + 1;
+  t.writes_since_move <- t.writes_since_move + 1;
+  if t.writes_since_move >= t.gap_interval then begin
+    t.writes_since_move <- 0;
+    move_gap t
+  end
+
+let total_writes t = t.total_writes
+let bytes_written t = t.total_writes * t.line_size
+
+let rotations t =
+  (* Full rotations plus fractional progress give "start sweeps". *)
+  t.rotations * (t.lines + 1) + t.start
+
+let write_distribution_cov t =
+  let xs = Array.map float_of_int t.buckets in
+  let m = Kg_util.Stats.mean xs in
+  if m = 0.0 then 0.0 else Kg_util.Stats.stddev xs /. m
+
+let max_line_writes t =
+  let mx = Array.fold_left max 0 t.buckets in
+  (mx + t.lines_per_bucket - 1) / t.lines_per_bucket

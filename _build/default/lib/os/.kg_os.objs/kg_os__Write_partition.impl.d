@@ -1,0 +1,1 @@
+lib/os/write_partition.ml: Controller Float Hashtbl Hierarchy Kg_cache Kg_gc Kg_heap Kg_mem List

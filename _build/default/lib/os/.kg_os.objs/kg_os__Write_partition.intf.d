@@ -1,0 +1,1 @@
+lib/os/write_partition.mli: Kg_cache Kg_gc

@@ -1,0 +1,54 @@
+(** OS Write Partitioning (WP), the state-of-the-art page-granularity
+    baseline the paper compares against (§2, §6.1.3) [Zhang & Li,
+    PACT'09; Zhou et al., USENIX ATC'01].
+
+    DRAM is treated as a partition for highly mutated pages, found with
+    a Multi-Queue ranking: the OS places every new page in PCM; the
+    memory controller counts writebacks to each physical page; a page
+    with 2^n writes sits in queue n of 8. Each OS time quantum (10 ms),
+    pages in the four highest-ranked queues migrate to DRAM; every
+    fifth quantum (50 ms) DRAM pages demote one queue, and pages that
+    fall below the promotion threshold migrate back to PCM. Page copies
+    are DMA at line granularity, bypassing the caches, and the
+    PCM-bound halves are the "Migrations" writes of Figure 7.
+
+    Simulated time is driven by demand-access counts: [accesses_per_ms]
+    converts the paper's wall-clock quanta into units the simulator
+    has. *)
+
+type config = {
+  queues : int;  (** 8 *)
+  promote_rank : int;  (** queues [promote_rank..queues-1] go to DRAM: 4 *)
+  quantum_accesses : int;  (** demand accesses per 10 ms OS quantum *)
+  demote_period : int;  (** quanta between DRAM demotions: 5 (= 50 ms) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  hier:Kg_cache.Hierarchy.t ->
+  virt_size:int ->
+  unit ->
+  t
+(** [virt_size] bounds the virtual heap range (vaddr 0..virt_size).
+    The hierarchy's controller must route over a hybrid address map;
+    WP installs itself as the controller's write observer. *)
+
+val mem_iface : t -> Kg_gc.Mem_iface.t
+(** The translated memory interface the runtime should use: virtual
+    heap addresses are mapped to their current physical frame before
+    entering the caches. *)
+
+val dram_pages : t -> int
+(** Pages currently resident in the DRAM partition. *)
+
+val peak_dram_pages : t -> int
+val migrations_to_dram : t -> int
+val migrations_to_pcm : t -> int
+
+val migration_pcm_line_writes : t -> int
+(** PCM line writes caused by migrating pages back (Figure 7's
+    "Migrations" component). *)

@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Address_map Costs Kg_cache Kg_mem Kg_util Machine

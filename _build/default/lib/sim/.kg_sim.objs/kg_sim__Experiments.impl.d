@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Descriptor Float Hashtbl Kg_cache Kg_gc Kg_heap Kg_mem Kg_util Kg_workload List Option Printf Rng Run Stats String Table Time_model Units

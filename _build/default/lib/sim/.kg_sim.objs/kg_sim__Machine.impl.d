@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Address_map Controller Device Hierarchy Kg_cache Kg_mem Kg_util Wear

@@ -1,0 +1,1 @@
+lib/sim/run.ml: Array Descriptor Energy Gc_config Gc_stats Kg_cache Kg_gc Kg_heap Kg_mem Kg_os Kg_util Kg_workload List Machine Mem_iface Mutator Option Phase Runtime Stats Time_model Units

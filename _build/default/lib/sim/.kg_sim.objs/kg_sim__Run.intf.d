@@ -1,0 +1,1 @@
+lib/sim/run.mli: Energy Kg_gc Kg_workload Machine Time_model

@@ -1,0 +1,1 @@
+lib/sim/time_model.ml: Controller Costs Device Gc_stats Hierarchy Kg_cache Kg_gc Kg_mem Machine

@@ -1,0 +1,1 @@
+lib/sim/time_model.mli: Kg_gc Machine

@@ -1,0 +1,21 @@
+type t = {
+  cpu_j : float;
+  static_dram_j : float;
+  static_pcm_j : float;
+  dynamic_j : float;
+}
+
+let total_j e = e.cpu_j +. e.static_dram_j +. e.static_pcm_j +. e.dynamic_j
+
+let of_run ~(machine : Machine.t) ~time_s =
+  let open Kg_mem in
+  let dram_gb = Kg_util.Units.gib_of_bytes (Address_map.dram_size machine.Machine.map) in
+  let pcm_gb = Kg_util.Units.gib_of_bytes (Address_map.pcm_size machine.Machine.map) in
+  {
+    cpu_j = Costs.cpu_power_w *. time_s;
+    static_dram_j = Costs.dram_static_w_per_gb *. dram_gb *. time_s;
+    static_pcm_j = Costs.pcm_static_w_per_gb *. pcm_gb *. time_s;
+    dynamic_j = Kg_cache.Controller.access_energy_j machine.Machine.ctrl;
+  }
+
+let edp e ~time_s = total_j e *. time_s

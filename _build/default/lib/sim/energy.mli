@@ -1,0 +1,22 @@
+(** Energy and energy-delay product (Figure 8).
+
+    Total energy = CPU power x time + per-device static power x time +
+    dynamic access energy from the memory controller. The dominant
+    effect the paper exploits is that 32 GB of DRAM burns substantial
+    background power while PCM's standby power is negligible (§5.2.2),
+    so the hybrid systems win on EDP despite PCM's slower, costlier
+    writes. *)
+
+type t = {
+  cpu_j : float;
+  static_dram_j : float;
+  static_pcm_j : float;
+  dynamic_j : float;
+}
+
+val total_j : t -> float
+
+val of_run : machine:Machine.t -> time_s:float -> t
+
+val edp : t -> time_s:float -> float
+(** Energy x delay, in joule-seconds. *)

@@ -1,0 +1,708 @@
+open Kg_util
+open Kg_workload
+
+type opts = { scale : int; heap_scale : int; cap_mb : int; seed : int }
+
+let default_opts = { scale = 8; heap_scale = 3; cap_mb = 256; seed = 42 }
+let quick_opts = { scale = 64; heap_scale = 8; cap_mb = 24; seed = 42 }
+
+type env = { o : opts; cache : (string, Run.result) Hashtbl.t }
+
+let make_env o = { o; cache = Hashtbl.create 64 }
+let opts env = env.o
+
+let fetch env mode spec bench =
+  let key =
+    Printf.sprintf "%s/%s/%d/%d/%d/%d/%s"
+      (match mode with Run.Simulate -> "sim" | Run.Count -> "cnt")
+      (Run.label spec) spec.Run.nursery_mb
+      (Option.value spec.Run.observer_mb ~default:0)
+      spec.Run.write_threshold
+      (Option.value spec.Run.pcm_write_trigger_mb ~default:0)
+      bench.Descriptor.name
+  in
+  match Hashtbl.find_opt env.cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
+        ~cap_mb:env.o.cap_mb ~mode spec bench
+    in
+    Hashtbl.replace env.cache key r;
+    r
+
+let cap s = String.capitalize_ascii s
+let mean = Stats.mean
+let pct = Table.cell_pct
+let f2 = Table.cell_f
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 env =
+  let t =
+    Table.create
+      ~columns:[ "Endurance"; "PCM-only (years)"; "KG-N (years)"; "KG-W (years)" ]
+  in
+  let specs = [ Run.pcm_only; Run.kg_n; Run.kg_w ] in
+  List.iter
+    (fun (label, endurance) ->
+      let avg spec =
+        mean
+          (Array.of_list
+             (List.map
+                (fun b -> Run.lifetime_years ~endurance (fetch env Run.Simulate spec b))
+                Descriptor.simulated))
+      in
+      Table.add_row t (label :: List.map (fun s -> f2 (avg s)) specs))
+    [ ("10 M", 10e6); ("30 M", 30e6); ("100 M", 100e6) ];
+  t
+
+let fig2 env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "Nursery"; "Mature"; "Top 10%"; "Top 2%" ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let r = fetch env Run.Count Run.dram_only b in
+        let st = r.Run.stats in
+        let mf = Kg_gc.Gc_stats.mature_write_fraction st in
+        ( b.Descriptor.name,
+          1.0 -. mf,
+          mf,
+          Kg_gc.Gc_stats.top_fraction_writes st 0.10,
+          Kg_gc.Gc_stats.top_fraction_writes st 0.02 ))
+      Descriptor.all
+  in
+  List.iter
+    (fun (n, nu, m, t10, t2) -> Table.add_row t [ cap n; pct nu; pct m; pct t10; pct t2 ])
+    rows;
+  Table.add_rule t;
+  let avg f = mean (Array.of_list (List.map f rows)) in
+  Table.add_row t
+    [
+      "Average";
+      pct (avg (fun (_, x, _, _, _) -> x));
+      pct (avg (fun (_, _, x, _, _) -> x));
+      pct (avg (fun (_, _, _, x, _) -> x));
+      pct (avg (fun (_, _, _, _, x) -> x));
+    ];
+  t
+
+let tab1 _env =
+  let t =
+    Table.create
+      ~columns:[ "Configuration"; "monitor writes"; "metadata in DRAM"; "LOO in nursery" ]
+  in
+  List.iter
+    (fun (n, a, b, c) -> Table.add_row t [ n; a; b; c ])
+    [
+      ("KG-N: Kingsguard-nursery", "no", "no", "no");
+      ("KG-W: Kingsguard-writers", "yes", "yes", "yes");
+      ("KG-W-LOO", "yes", "yes", "no");
+      ("KG-W-LOO-MDO", "yes", "no", "no");
+    ];
+  t
+
+let tab2 _env =
+  let t = Table.create ~columns:[ "Component"; "Parameters" ] in
+  List.iter
+    (fun (a, b) -> Table.add_row t [ a; b ])
+    [
+      ("Processor", "1 socket, 4 cores (one simulated mutator thread)");
+      ("L1-D", "32 KB, 8 way, 1 ns");
+      ("L2", "256 KB per core, 8 way, 2 ns");
+      ("L3", "shared 4 MB, 16 way, 7.5 ns");
+      ("Memory systems", "32 GB DRAM-only / 32 GB PCM-only / 1 GB DRAM + 32 GB PCM");
+      ("DRAM", "45 ns read/write; 0.678 W read, 0.825 W write");
+      ("PCM", "180 ns read, 450 ns write; 0.617 W read, 3.0 W write");
+      ("PCM endurance", "30 M writes per cell, start-gap line wear-leveling");
+      ("Heap", "GenImmix: 4 MB nursery, heap = 2x min live; Immix 32 KB/256 B");
+    ];
+  t
+
+let tab3 env =
+  let t =
+    Table.create
+      ~columns:
+        [ "Benchmark"; "Scaling (paper)"; "Rate GB/s (paper)"; "Rate GB/s (measured)" ]
+  in
+  List.iter
+    (fun b ->
+      let r = fetch env Run.Simulate Run.pcm_only b in
+      Table.add_row t
+        [
+          cap b.Descriptor.name;
+          Printf.sprintf "%.1fx" b.Descriptor.scaling_32core;
+          f2 b.Descriptor.write_rate_gbs;
+          f2 (Run.pcm_write_rate_32core_gbs r);
+        ])
+    Descriptor.simulated;
+  t
+
+let add_bench_rows t rows =
+  (* rows : (name, cells) list; appends an average row per column *)
+  let n = List.length (snd (List.hd rows)) in
+  List.iter (fun (name, cells) -> Table.add_row t (cap name :: List.map f2 cells)) rows;
+  Table.add_rule t;
+  let avg i = mean (Array.of_list (List.map (fun (_, cs) -> List.nth cs i) rows)) in
+  Table.add_row t ("Average" :: List.init n (fun i -> f2 (avg i)))
+
+let fig5 env =
+  let t = Table.create ~columns:[ "Benchmark"; "KG-N (x)"; "KG-W (x)" ] in
+  let life spec b = Run.lifetime_years (fetch env Run.Simulate spec b) in
+  let rows =
+    List.map
+      (fun b ->
+        let base = life Run.pcm_only b in
+        (b.Descriptor.name, [ life Run.kg_n b /. base; life Run.kg_w b /. base ]))
+      Descriptor.simulated
+  in
+  add_bench_rows t rows;
+  t
+
+let pcm_writes (r : Run.result) = r.Run.mem_pcm_write_bytes
+
+let fig6 env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "KG-N"; "KG-W"; "KG-W-LOO"; "KG-W-LOO-MDO" ]
+  in
+  let specs = [ Run.kg_n; Run.kg_w; Run.kg_w_no_loo; Run.kg_w_no_loo_mdo ] in
+  let rows =
+    List.map
+      (fun b ->
+        let base = pcm_writes (fetch env Run.Simulate Run.pcm_only b) in
+        ( b.Descriptor.name,
+          List.map (fun s -> pcm_writes (fetch env Run.Simulate s b) /. base) specs ))
+      Descriptor.simulated
+  in
+  add_bench_rows t rows;
+  t
+
+let fig7 env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "KG-N"; "KG-W"; "WP writebacks"; "WP migrations" ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let base = pcm_writes (fetch env Run.Simulate Run.pcm_only b) in
+        let wp = fetch env Run.Simulate Run.wp b in
+        ( b.Descriptor.name,
+          [
+            pcm_writes (fetch env Run.Simulate Run.kg_n b) /. base;
+            pcm_writes (fetch env Run.Simulate Run.kg_w b) /. base;
+            (pcm_writes wp -. wp.Run.migration_pcm_bytes) /. base;
+            wp.Run.migration_pcm_bytes /. base;
+          ] ))
+      Descriptor.simulated
+  in
+  add_bench_rows t rows;
+  t
+
+let fig8 env =
+  let t =
+    Table.create ~columns:[ "Benchmark"; "DRAM-only"; "PCM-only"; "KG-N"; "KG-W" ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let base = (fetch env Run.Simulate Run.dram_only b).Run.edp in
+        ( b.Descriptor.name,
+          List.map
+            (fun s -> (fetch env Run.Simulate s b).Run.edp /. base)
+            [ Run.dram_only; Run.pcm_only; Run.kg_n; Run.kg_w ] ))
+      Descriptor.simulated
+  in
+  add_bench_rows t rows;
+  t
+
+let fig9 env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "PCM"; "Remsets"; "GC"; "Monitoring"; "Other"; "Total" ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let d = fetch env Run.Simulate Run.dram_only b in
+        let w = fetch env Run.Simulate Run.kg_w b in
+        let td = Time_model.total_ns d.Run.time_parts in
+        let pw = w.Run.time_parts and pd = d.Run.time_parts in
+        let pcm = pw.Time_model.mem_pcm_extra_ns /. td in
+        let remsets = (pw.Time_model.remset_ns -. pd.Time_model.remset_ns) /. td in
+        let gc = (pw.Time_model.gc_ns -. pd.Time_model.gc_ns) /. td in
+        let monitoring = pw.Time_model.monitor_ns /. td in
+        let total = (Time_model.total_ns pw -. td) /. td in
+        let other = total -. pcm -. remsets -. gc -. monitoring in
+        (b.Descriptor.name, [ pcm; remsets; gc; monitoring; other; total ]))
+      Descriptor.simulated
+  in
+  List.iter
+    (fun (name, cells) -> Table.add_row t (cap name :: List.map pct cells))
+    rows;
+  Table.add_rule t;
+  let avg i = mean (Array.of_list (List.map (fun (_, cs) -> List.nth cs i) rows)) in
+  Table.add_row t ("Average" :: List.init 6 (fun i -> pct (avg i)));
+  t
+
+let fig10 env =
+  let t =
+    Table.create
+      ~columns:
+        [ "Benchmark"; "Collector"; "application"; "nursery-GC"; "observer-GC"; "major-GC" ]
+  in
+  List.iter
+    (fun b ->
+      let rn = fetch env Run.Simulate Run.kg_n b in
+      let rw = fetch env Run.Simulate Run.kg_w b in
+      let base = Array.fold_left ( +. ) 0.0 rn.Run.pcm_writes_by_phase in
+      let row (r : Run.result) name =
+        let p = r.Run.pcm_writes_by_phase in
+        let g i = if base = 0.0 then 0.0 else p.(i) /. base in
+        Table.add_row t
+          [ cap b.Descriptor.name; name; f2 (g 0); f2 (g 1); f2 (g 2); f2 (g 3) ]
+      in
+      row rn "KG-N";
+      row rw "KG-W")
+    Descriptor.simulated;
+  t
+
+let barrier_pcm (r : Run.result) = float_of_int r.Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm
+
+let fig11 env =
+  let t = Table.create ~columns:[ "Benchmark"; "KG-N-12"; "KG-W"; "KG-W-PM" ] in
+  let rows =
+    List.map
+      (fun b ->
+        let base = barrier_pcm (fetch env Run.Count Run.kg_n b) in
+        let rel s =
+          if base = 0.0 then 0.0 else barrier_pcm (fetch env Run.Count s b) /. base
+        in
+        (b.Descriptor.name, [ rel Run.kg_n_12; rel Run.kg_w; rel Run.kg_w_no_pm ]))
+      Descriptor.all
+  in
+  add_bench_rows t rows;
+  t
+
+let fig12 env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "KG-W"; "KG-W-LOO"; "KG-W-LOO-MDO"; "KG-W-PM" ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let base = (fetch env Run.Count Run.kg_n b).Run.time_s in
+        let rel s = (fetch env Run.Count s b).Run.time_s /. base in
+        ( b.Descriptor.name,
+          [
+            rel Run.kg_w;
+            rel Run.kg_w_no_loo;
+            rel Run.kg_w_no_loo_mdo;
+            rel Run.kg_w_no_pm;
+          ] ))
+      Descriptor.all
+  in
+  add_bench_rows t rows;
+  t
+
+let fig13 env =
+  let t =
+    Table.create ~columns:[ "Benchmark"; "Alloc (MB)"; "PCM (MB)"; "DRAM (MB)" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let r =
+        Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
+          ~cap_mb:env.o.cap_mb ~trace:true ~mode:Run.Count Run.kg_w b
+      in
+      let trace = Array.of_list r.Run.trace in
+      let n = Array.length trace in
+      let samples = min 16 n in
+      for i = 0 to samples - 1 do
+        let clock, pcm, dram = trace.(i * n / samples) in
+        Table.add_row t
+          [ cap name; f2 (clock /. 1048576.0); f2 pcm; f2 dram ]
+      done;
+      Table.add_rule t)
+    [ "pr"; "eclipse" ];
+  t
+
+let tab4 env =
+  let t =
+    Table.create
+      ~columns:
+        [
+          "Benchmark";
+          "alloc MB";
+          "% nursery surv";
+          "KG-N PCM avg/max";
+          "KG-W PCM avg/max";
+          "KG-W DRAM avg/max";
+          "WP DRAM MB";
+          "mature DRAM MB";
+          "meta MB";
+          "% obs surv";
+          "% held in DRAM";
+        ]
+  in
+  List.iter
+    (fun b ->
+      let rn = fetch env Run.Count Run.kg_n b in
+      let rw = fetch env Run.Count Run.kg_w b in
+      let st = rw.Run.stats in
+      let wp_dram =
+        if b.Descriptor.simulated then
+          f2 (fetch env Run.Simulate Run.wp b).Run.wp_dram_mb
+        else "-"
+      in
+      let held =
+        let d = st.Kg_gc.Gc_stats.observer_to_dram_bytes
+        and p = st.Kg_gc.Gc_stats.observer_to_pcm_bytes in
+        if d + p = 0 then 0.0 else float_of_int d /. float_of_int (d + p)
+      in
+      Table.add_row t
+        [
+          cap b.Descriptor.name;
+          string_of_int (rw.Run.alloc_bytes / 1048576);
+          pct (Kg_gc.Gc_stats.nursery_survival st);
+          Printf.sprintf "%s/%s" (f2 rn.Run.pcm_avg_mb) (f2 rn.Run.pcm_max_mb);
+          Printf.sprintf "%s/%s" (f2 rw.Run.pcm_avg_mb) (f2 rw.Run.pcm_max_mb);
+          Printf.sprintf "%s/%s" (f2 rw.Run.dram_avg_mb) (f2 rw.Run.dram_max_mb);
+          wp_dram;
+          f2 rw.Run.mature_dram_avg_mb;
+          f2 rw.Run.meta_mb;
+          pct (Kg_gc.Gc_stats.observer_survival st);
+          pct held;
+        ])
+    Descriptor.all;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: the paper's explicitly-deferred future work              *)
+
+let ext_benchmarks = [ "lusearch"; "xalan"; "hsqldb"; "cc"; "bloat" ]
+
+(* §4.2.2: "Since we have an entire word, the barrier could record the
+   number of writes. We leave ... counting writes for future work."
+   Requiring k observed writes before an object counts as written
+   trades DRAM space for PCM writes. *)
+let ext_threshold env =
+  let t =
+    Table.create
+      ~columns:
+        [ "Benchmark"; "k"; "PCM writes vs k=1"; "held in DRAM"; "mature DRAM MB" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let run k = fetch env Run.Count { Run.kg_w with Run.write_threshold = k } b in
+      let base = float_of_int (run 1).Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm in
+      List.iter
+        (fun k ->
+          let r = run k in
+          let st = r.Run.stats in
+          let d = st.Kg_gc.Gc_stats.observer_to_dram_bytes
+          and p = st.Kg_gc.Gc_stats.observer_to_pcm_bytes in
+          let held = if d + p = 0 then 0.0 else float_of_int d /. float_of_int (d + p) in
+          Table.add_row t
+            [
+              cap name;
+              string_of_int k;
+              f2 (float_of_int st.Kg_gc.Gc_stats.app_write_bytes_pcm /. base);
+              pct held;
+              f2 r.Run.mature_dram_avg_mb;
+            ])
+        [ 1; 2; 4 ];
+      Table.add_rule t)
+    ext_benchmarks;
+  t
+
+(* §6.2.1: "These behaviors motivate additional policies for mature
+   collection to be triggered by writes to PCM. We leave this
+   exploration to future work." *)
+let ext_write_trigger env =
+  let t =
+    Table.create ~columns:[ "Benchmark"; "Trigger"; "PCM writes vs none"; "major GCs" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let run trig =
+        fetch env Run.Count { Run.kg_w with Run.pcm_write_trigger_mb = trig } b
+      in
+      let base = run None in
+      let basew = float_of_int base.Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm in
+      List.iter
+        (fun (label, trig) ->
+          let r = run trig in
+          Table.add_row t
+            [
+              cap name;
+              label;
+              f2 (float_of_int r.Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm /. Float.max 1.0 basew);
+              string_of_int r.Run.stats.Kg_gc.Gc_stats.major_gcs;
+            ])
+        [ ("none", None); ("4 MB", Some 4); ("1 MB", Some 1) ];
+      Table.add_rule t)
+    ext_benchmarks;
+  t
+
+(* §5.1: "We empirically find that sizing the observer space to be
+   twice that of the nursery is the best compromise between tenured
+   garbage and pause time." *)
+let ext_observer_size env =
+  let t =
+    Table.create
+      ~columns:
+        [ "Benchmark"; "Observer MB"; "PCM writes vs 8MB"; "time vs 8MB"; "obs survival" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let run mb = fetch env Run.Count { Run.kg_w with Run.observer_mb = Some mb } b in
+      let base = run 8 in
+      List.iter
+        (fun mb ->
+          let r = run mb in
+          Table.add_row t
+            [
+              cap name;
+              string_of_int mb;
+              f2
+                (float_of_int r.Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm
+                /. Float.max 1.0 (float_of_int base.Run.stats.Kg_gc.Gc_stats.app_write_bytes_pcm));
+              f2 (r.Run.time_s /. base.Run.time_s);
+              pct (Kg_gc.Gc_stats.observer_survival r.Run.stats);
+            ])
+        [ 4; 8; 16 ];
+      Table.add_rule t)
+    ext_benchmarks;
+  t
+
+(* §4.2.1: "An observer collection thus results in pause times longer
+   than nursery collections, but shorter than full heap collections." *)
+let ext_pauses env =
+  let t =
+    Table.create
+      ~columns:
+        [ "Benchmark"; "nursery avg ms"; "observer avg ms"; "major avg ms"; "count n/o/m" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let r = fetch env Run.Count Run.kg_w b in
+      let acc = Hashtbl.create 4 in
+      Kg_util.Vec.iter
+        (fun (phase, copied, scanned) ->
+          let sum, n = Option.value (Hashtbl.find_opt acc phase) ~default:(0.0, 0) in
+          Hashtbl.replace acc phase (sum +. Time_model.pause_ms ~copied ~scanned, n + 1))
+        r.Run.stats.Kg_gc.Gc_stats.collection_log;
+      let avg phase =
+        match Hashtbl.find_opt acc phase with
+        | Some (sum, n) when n > 0 -> (sum /. float_of_int n, n)
+        | _ -> (0.0, 0)
+      in
+      let na, nn = avg Kg_gc.Phase.Nursery_gc in
+      let oa, on = avg Kg_gc.Phase.Observer_gc in
+      let ma, mn = avg Kg_gc.Phase.Major_gc in
+      Table.add_row t
+        [ cap name; f2 na; f2 oa; f2 ma; Printf.sprintf "%d/%d/%d" nn on mn ])
+    [ "hsqldb"; "pjbb"; "pr"; "cc"; "xalan" ];
+  t
+
+(* §3's premise: "Contiguous allocation is known to outperform
+   free-list allocators due to its locality benefits." Drive the Immix
+   mark-region space and a segregated-fit free-list space with an
+   identical allocation/death/initialisation stream through the same
+   cache hierarchy, and compare footprint, internal fragmentation and
+   memory traffic. *)
+let ext_allocator env =
+  let t =
+    Table.create
+      ~columns:
+        [
+          "Allocator";
+          "footprint MB";
+          "live MB";
+          "internal frag";
+          "mem writes MB";
+          "traversal miss MB";
+        ]
+  in
+  let module H = Kg_heap in
+  let drive ~use_immix =
+    let map = Kg_mem.Address_map.pcm_only () in
+    let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
+    let hier = Kg_cache.Hierarchy.create ~controller:ctrl () in
+    let arena = H.Arena.create ~kind:Kg_mem.Device.Pcm ~base:0 ~size:(2 * Units.gib) in
+    let immix = H.Immix_space.create ~id:3 ~name:"immix" ~arena () in
+    let flist = H.Freelist_space.create ~id:3 ~name:"freelist" ~arena in
+    let rng = Rng.of_seed env.o.seed in
+    let now = ref 0.0 in
+    let target = 24 * Units.mib in
+    let live_budget = ref (8 * Units.mib) in
+    let live = ref 0 in
+    while int_of_float !now < target do
+      let size = H.Layout.align_object_size (16 + (8 * Rng.geometric rng 0.12)) in
+      let death =
+        if Rng.bernoulli rng 0.1 then infinity else !now +. Rng.exponential rng 2e6
+      in
+      let o =
+        H.Object_model.make ~id:0 ~size ~heat:H.Object_model.Cold ~death ~ref_fields:1
+      in
+      let ok = if use_immix then H.Immix_space.alloc immix o else H.Freelist_space.alloc flist o in
+      if not ok then failwith "ext_allocator: arena exhausted";
+      (* one zero/init pass: the write stream whose locality differs *)
+      Kg_cache.Hierarchy.access_range hier ~addr:o.H.Object_model.addr ~size ~write:true;
+      now := !now +. float_of_int size;
+      live := !live + size;
+      if !live > !live_budget then begin
+        live :=
+          (if use_immix then begin
+             ignore (H.Immix_space.sweep immix ~now:!now ());
+             H.Immix_space.live_bytes immix
+           end
+           else begin
+             ignore (H.Freelist_space.sweep flist ~now:!now ());
+             H.Freelist_space.live_bytes flist
+           end);
+        (* keep sweeps amortised as the immortal base grows *)
+        live_budget := max !live_budget (2 * !live)
+      end
+    done;
+    Kg_cache.Hierarchy.drain hier;
+    (* The locality that matters to the mutator: objects allocated
+       together are accessed together. Traverse the survivors in
+       allocation order and count the reads that miss all the way to
+       memory. *)
+    let reads_before = Kg_cache.Controller.bytes_read ctrl Kg_mem.Device.Pcm in
+    let traverse objs =
+      Kg_util.Vec.iter
+        (fun (o : H.Object_model.t) ->
+          Kg_cache.Hierarchy.access_range hier ~addr:o.H.Object_model.addr
+            ~size:o.H.Object_model.size ~write:false)
+        objs
+    in
+    if use_immix then traverse (H.Immix_space.objects immix)
+    else traverse (H.Freelist_space.objects flist);
+    let traversal_reads =
+      Kg_cache.Controller.bytes_read ctrl Kg_mem.Device.Pcm - reads_before
+    in
+    let live_b, footprint, frag =
+      if use_immix then
+        ( H.Immix_space.live_bytes immix,
+          H.Immix_space.footprint_bytes immix,
+          H.Immix_space.fragmentation immix )
+      else begin
+        let lb = H.Freelist_space.live_bytes flist in
+        let cb = H.Freelist_space.cell_bytes flist in
+        ( lb,
+          H.Freelist_space.footprint_bytes flist,
+          if cb = 0 then 0.0 else 1.0 -. (float_of_int lb /. float_of_int cb) )
+      end
+    in
+    Table.add_row t
+      [
+        (if use_immix then "Immix (bump lines)" else "Free-list (segregated fit)");
+        f2 (Units.mib_of_bytes footprint);
+        f2 (Units.mib_of_bytes live_b);
+        pct frag;
+        f2 (float_of_int (Kg_cache.Controller.bytes_written ctrl Kg_mem.Device.Pcm) /. 1048576.);
+        f2 (float_of_int traversal_reads /. 1048576.);
+      ]
+  in
+  drive ~use_immix:true;
+  drive ~use_immix:false;
+  t
+
+(* Table 3's premise: write rates grow super-linearly with threads
+   because interleaved allocation and shared-cache contention defeat
+   locality. Simulate 1 vs 4 logical mutator threads on one cache
+   hierarchy and compare memory-level PCM write rates. *)
+let ext_threads env =
+  let t =
+    Table.create
+      ~columns:[ "Benchmark"; "1-thread GB/s"; "4-thread GB/s"; "scaling" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let run threads =
+        Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
+          ~cap_mb:(min env.o.cap_mb 64) ~threads ~mode:Run.Simulate Run.pcm_only b
+      in
+      let r1 = run 1 and r4 = run 4 in
+      let rate (r : Run.result) =
+        if r.Run.time_s <= 0.0 then 0.0
+        else r.Run.mem_pcm_write_bytes /. r.Run.time_s /. 1073741824.0
+      in
+      Table.add_row t
+        [
+          cap name;
+          f2 (rate r1);
+          f2 (rate r4);
+          Printf.sprintf "%.2fx" (rate r4 /. Float.max 1e-9 (rate r1));
+        ])
+    [ "xalan"; "antlr"; "bloat" ];
+  t
+
+(* §6.2.1: "Using a larger nursery reduces the writes to PCM ... A
+   larger nursery is not effective for applications with more writes in
+   the mature space" — sweep the KG-N nursery size. *)
+let ext_nursery_size env =
+  let t =
+    Table.create ~columns:[ "Benchmark"; "Nursery MB"; "barrier PCM writes vs 4MB" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Descriptor.find name in
+      let run mb = fetch env Run.Count { Run.kg_n with Run.nursery_mb = mb } b in
+      let base = barrier_pcm (run 4) in
+      List.iter
+        (fun mb ->
+          Table.add_row t
+            [
+              cap name;
+              string_of_int mb;
+              f2 (barrier_pcm (run mb) /. Float.max 1.0 base);
+            ])
+        [ 4; 12; 32 ];
+      Table.add_rule t)
+    [ "lusearch"; "pjbb"; "bloat"; "eclipse" ];
+  t
+
+let all =
+  [
+    ("tab1", "Table 1: collector configurations", tab1);
+    ("tab2", "Table 2: simulated system parameters", tab2);
+    ("tab3", "Table 3: write-rate scaling to 32 cores", tab3);
+    ("tab4", "Table 4: object demographics and space usage", tab4);
+    ("fig1", "Figure 1: absolute PCM lifetimes vs endurance", fig1);
+    ("fig2", "Figure 2: where writes go (nursery/mature, top-N%)", fig2);
+    ("fig5", "Figure 5: PCM lifetime relative to PCM-only", fig5);
+    ("fig6", "Figure 6: PCM writes relative to PCM-only (+ablations)", fig6);
+    ("fig7", "Figure 7: Kingsguard vs OS write partitioning", fig7);
+    ("fig8", "Figure 8: energy-delay product relative to DRAM-only", fig8);
+    ("fig9", "Figure 9: KG-W overhead breakdown over DRAM-only", fig9);
+    ("fig10", "Figure 10: origin of PCM writes by GC phase", fig10);
+    ("fig11", "Figure 11: barrier-level PCM writes relative to KG-N", fig11);
+    ("fig12", "Figure 12: execution time relative to KG-N", fig12);
+    ("fig13", "Figure 13: heap composition over time (PR, eclipse)", fig13);
+    ("ext-threshold", "Extension: write-count threshold placement (4.2.2 future work)", ext_threshold);
+    ("ext-write-trigger", "Extension: PCM-write-triggered major GCs (6.2.1 future work)", ext_write_trigger);
+    ("ext-observer-size", "Extension: observer space sizing sweep (5.1)", ext_observer_size);
+    ("ext-pauses", "Extension: pause ordering nursery < observer < major (4.2.1)", ext_pauses);
+    ("ext-allocator", "Extension: Immix vs free-list locality and fragmentation (3)", ext_allocator);
+    ("ext-threads", "Extension: write-rate scaling with mutator threads (Table 3)", ext_threads);
+    ("ext-nursery-size", "Extension: KG-N nursery size sweep (6.2.1)", ext_nursery_size);
+  ]
+
+let run_by_name env name =
+  let _, _, f = List.find (fun (n, _, _) -> n = name) all in
+  f env

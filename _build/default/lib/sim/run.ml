@@ -1,0 +1,205 @@
+open Kg_util
+open Kg_gc
+open Kg_workload
+
+type mode = Simulate | Count
+
+type spec = {
+  system : Machine.system;
+  collector : Gc_config.collector;
+  nursery_mb : int;
+  wp : bool;
+  observer_mb : int option;  (* None = the default 2x nursery *)
+  write_threshold : int;
+  pcm_write_trigger_mb : int option;
+}
+
+let kg_n =
+  {
+    system = Machine.Hybrid;
+    collector = Gc_config.Kg_nursery;
+    nursery_mb = 4;
+    wp = false;
+    observer_mb = None;
+    write_threshold = 1;
+    pcm_write_trigger_mb = None;
+  }
+let kg_n_12 = { kg_n with nursery_mb = 12 }
+let kg_w = { kg_n with collector = Gc_config.kg_w_default }
+let kg_w_no_loo = { kg_n with collector = Gc_config.Kg_writers { loo = false; mdo = true; pm = true } }
+
+let kg_w_no_loo_mdo =
+  { kg_n with collector = Gc_config.Kg_writers { loo = false; mdo = false; pm = true } }
+
+let kg_w_no_pm = { kg_n with collector = Gc_config.Kg_writers { loo = true; mdo = true; pm = false } }
+let dram_only = { kg_n with system = Machine.Dram_only; collector = Gc_config.Gen_immix }
+let pcm_only = { dram_only with system = Machine.Pcm_only }
+let wp = { kg_n with collector = Gc_config.Gen_immix; wp = true }
+
+let label spec =
+  if spec.wp then "WP"
+  else
+    match spec.collector with
+    | Gc_config.Gen_immix -> Machine.system_name spec.system
+    | c ->
+      Gc_config.name
+        (Gc_config.make ~nursery_mb:spec.nursery_mb ~heap_mb:64 c)
+
+type result = {
+  bench : Descriptor.t;
+  spec : spec;
+  stats : Gc_stats.t;
+  alloc_bytes : int;
+  mem_pcm_write_bytes : float;
+  mem_dram_write_bytes : float;
+  mem_pcm_read_bytes : float;
+  mem_dram_read_bytes : float;
+  pcm_writes_by_phase : float array;
+  wear_cov : float;
+  migration_pcm_bytes : float;
+  wp_dram_mb : float;
+  time_parts : Time_model.parts;
+  time_s : float;
+  energy : Energy.t option;
+  edp : float;
+  dram_avg_mb : float;
+  dram_max_mb : float;
+  pcm_avg_mb : float;
+  pcm_max_mb : float;
+  mature_dram_avg_mb : float;
+  meta_mb : float;
+  trace : (float * float * float) list;
+}
+
+(* The engine simulates one mutator thread; the paper's 4-core rates
+   run the multithreaded benchmarks across all cores, and write rates
+   scale near-linearly at low core counts (Table 3 shows >= 5x from 4
+   to 32 cores), so one simulated thread ~ a quarter of the machine. *)
+let single_thread_to_4core = 4.0
+
+let pcm_write_rate_4core_gbs r =
+  if r.time_s <= 0.0 then 0.0
+  else r.mem_pcm_write_bytes /. r.time_s /. float_of_int Units.gib *. single_thread_to_4core
+
+let pcm_write_rate_32core_gbs r =
+  pcm_write_rate_4core_gbs r *. r.bench.Descriptor.scaling_32core
+
+let lifetime_years ?(endurance = 30e6) r =
+  Kg_mem.Lifetime.years
+    ~size_bytes:(float_of_int (32 * Units.gib))
+    ~endurance
+    ~write_rate_bytes_per_s:(pcm_write_rate_32core_gbs r *. float_of_int Units.gib)
+
+let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = false)
+    ?(threads = 1) ~mode spec bench =
+  (* Scale the live target with the (shortened) run so collections of
+     every kind still fire; ratios, not volumes, are what the figures
+     report. *)
+  let live_mb = max 16 (Descriptor.live_mb bench / max 1 heap_scale) in
+  let cfg =
+    Gc_config.make ~nursery_mb:spec.nursery_mb ?observer_mb:spec.observer_mb
+      ~write_threshold:spec.write_threshold ?pcm_write_trigger_mb:spec.pcm_write_trigger_mb
+      ~heap_mb:(2 * live_mb) spec.collector
+  in
+  let counting_counters = ref None in
+  (* Assemble memory system, runtime address map, and memory interface. *)
+  let machine, wp_engine, runtime_map, mem =
+    match (mode, spec.wp) with
+    | Simulate, false ->
+      let m = Machine.build spec.system in
+      (Some m, None, m.Machine.map, Mem_iface.of_hierarchy m.Machine.hier)
+    | Simulate, true ->
+      let m = Machine.build Machine.Hybrid in
+      let virt_size = Kg_mem.Address_map.pcm_size m.Machine.map in
+      let w = Kg_os.Write_partition.create ~hier:m.Machine.hier ~virt_size () in
+      let vmap = Kg_mem.Address_map.pcm_only ~size:virt_size () in
+      (Some m, Some w, vmap, Kg_os.Write_partition.mem_iface w)
+    | Count, _ ->
+      let map = Machine.map_of spec.system in
+      let iface, c = Mem_iface.counting ~map in
+      counting_counters := Some c;
+      (None, None, map, iface)
+  in
+  let rt = Runtime.create ~config:cfg ~mem ~map:runtime_map ~seed () in
+  (* Sample heap composition at every collection. *)
+  let dram_acc = Stats.Acc.create () and pcm_acc = Stats.Acc.create () in
+  let mature_dram_acc = Stats.Acc.create () in
+  let trace_acc = ref [] in
+  Runtime.set_gc_hook rt (fun _phase ->
+      let d = Units.mib_of_bytes (Runtime.dram_used rt) in
+      let p = Units.mib_of_bytes (Runtime.pcm_used rt) in
+      Stats.Acc.add dram_acc d;
+      Stats.Acc.add pcm_acc p;
+      Stats.Acc.add mature_dram_acc (Units.mib_of_bytes (Runtime.usage rt).mature_dram_used);
+      if trace then trace_acc := (Runtime.now rt, p, d) :: !trace_acc);
+  let mutator = Mutator.create ~live_mb ~threads bench ~rt ~seed:(seed + 1) in
+  Mutator.allocate_startup mutator;
+  (* Demographics reflect steady state, not boot-image construction. *)
+  Gc_stats.reset (Runtime.stats rt);
+  let alloc_bytes = Mutator.scaled_alloc_bytes bench ~scale ~cap_mb in
+  Mutator.run mutator ~alloc_bytes ();
+  Runtime.flush_retirement_stats rt;
+  Option.iter Machine.drain machine;
+  let stats = Runtime.stats rt in
+  let parts =
+    Time_model.cpu_parts ~intensity:bench.Descriptor.cpu_intensity stats ~alloc_bytes
+  in
+  let parts = match machine with Some m -> Time_model.with_machine parts m | None -> parts in
+  let time_s = Time_model.seconds parts in
+  let energy = Option.map (fun m -> Energy.of_run ~machine:m ~time_s) machine in
+  let f = float_of_int in
+  let get g k = match machine with Some m -> f (g m.Machine.ctrl k) | None -> 0.0 in
+  let migration_pcm_bytes =
+    match wp_engine with
+    | Some w -> f (Kg_os.Write_partition.migration_pcm_line_writes w * 64)
+    | None -> 0.0
+  in
+  {
+    bench;
+    spec;
+    stats;
+    alloc_bytes;
+    mem_pcm_write_bytes =
+      (match !counting_counters with
+      | Some c -> f c.Mem_iface.pcm_write_bytes
+      | None -> get Kg_cache.Controller.bytes_written Kg_mem.Device.Pcm);
+    mem_dram_write_bytes =
+      (match !counting_counters with
+      | Some c -> f c.Mem_iface.dram_write_bytes
+      | None -> get Kg_cache.Controller.bytes_written Kg_mem.Device.Dram);
+    mem_pcm_read_bytes =
+      (match !counting_counters with
+      | Some c -> f c.Mem_iface.pcm_read_bytes
+      | None -> get Kg_cache.Controller.bytes_read Kg_mem.Device.Pcm);
+    mem_dram_read_bytes =
+      (match !counting_counters with
+      | Some c -> f c.Mem_iface.dram_read_bytes
+      | None -> get Kg_cache.Controller.bytes_read Kg_mem.Device.Dram);
+    pcm_writes_by_phase =
+      (match (machine, !counting_counters) with
+      | Some m, _ ->
+        Array.map (fun w -> f (w * 64)) (Array.sub (Machine.pcm_writes_by_phase m) 0 Phase.count)
+      | None, Some c -> Array.map f c.Mem_iface.pcm_write_bytes_by_phase
+      | None, None -> Array.make Phase.count 0.0);
+    wear_cov =
+      (match machine with
+      | Some { Machine.wear = Some w; _ } -> Kg_mem.Wear.write_distribution_cov w
+      | _ -> 0.0);
+    migration_pcm_bytes;
+    wp_dram_mb =
+      (match wp_engine with
+      | Some w ->
+        Units.mib_of_bytes (Kg_os.Write_partition.peak_dram_pages w * Kg_heap.Layout.page)
+      | None -> 0.0);
+    time_parts = parts;
+    time_s;
+    energy;
+    edp = (match energy with Some e -> Energy.edp e ~time_s | None -> 0.0);
+    dram_avg_mb = Stats.Acc.mean dram_acc;
+    dram_max_mb = (if Stats.Acc.count dram_acc = 0 then 0.0 else Stats.Acc.max dram_acc);
+    pcm_avg_mb = Stats.Acc.mean pcm_acc;
+    pcm_max_mb = (if Stats.Acc.count pcm_acc = 0 then 0.0 else Stats.Acc.max pcm_acc);
+    mature_dram_avg_mb = Stats.Acc.mean mature_dram_acc;
+    meta_mb = Units.mib_of_bytes (Runtime.usage rt).meta_used;
+    trace = List.rev !trace_acc;
+  }

@@ -1,0 +1,84 @@
+(** Run one (benchmark, memory system, collector) combination and
+    collect every metric the paper's figures read. *)
+
+type mode =
+  | Simulate  (** full cache + memory simulation (the paper's Sniper runs) *)
+  | Count  (** architecture-independent barrier-level counting (the
+               paper's real-hardware runs) *)
+
+type spec = {
+  system : Machine.system;
+  collector : Kg_gc.Gc_config.collector;
+  nursery_mb : int;
+  wp : bool;  (** OS write-partitioning instead of GC-directed placement *)
+  observer_mb : int option;  (** [None] = the paper's 2x nursery *)
+  write_threshold : int;  (** counting extension; 1 = the paper's bit *)
+  pcm_write_trigger_mb : int option;  (** write-triggered major extension *)
+}
+
+val kg_n : spec
+val kg_n_12 : spec
+val kg_w : spec
+val kg_w_no_loo : spec
+val kg_w_no_loo_mdo : spec
+val kg_w_no_pm : spec
+val dram_only : spec
+val pcm_only : spec
+val wp : spec
+
+val label : spec -> string
+
+type result = {
+  bench : Kg_workload.Descriptor.t;
+  spec : spec;
+  stats : Kg_gc.Gc_stats.t;
+  alloc_bytes : int;
+  (* memory-level traffic (Simulate mode; zeros in Count mode) *)
+  mem_pcm_write_bytes : float;
+  mem_dram_write_bytes : float;
+  mem_pcm_read_bytes : float;
+  mem_dram_read_bytes : float;
+  pcm_writes_by_phase : float array;  (** bytes, by {!Kg_gc.Phase.to_tag} *)
+  wear_cov : float;  (** wear-leveling uniformity (0 = uniform) *)
+  migration_pcm_bytes : float;  (** WP page copies into PCM *)
+  wp_dram_mb : float;  (** peak WP DRAM partition usage *)
+  (* time and energy *)
+  time_parts : Time_model.parts;
+  time_s : float;
+  energy : Energy.t option;
+  edp : float;  (** 0 in Count mode *)
+  (* demographics, sampled at every collection *)
+  dram_avg_mb : float;
+  dram_max_mb : float;
+  pcm_avg_mb : float;
+  pcm_max_mb : float;
+  mature_dram_avg_mb : float;
+  meta_mb : float;
+  trace : (float * float * float) list;
+      (** (allocation clock, PCM MB, DRAM MB), oldest first, when traced *)
+}
+
+val pcm_write_rate_4core_gbs : result -> float
+(** Simulated PCM write rate: writeback bytes / reconstructed time. *)
+
+val pcm_write_rate_32core_gbs : result -> float
+(** Scaled by the benchmark's Table 3 factor, as in §5.2.2. *)
+
+val lifetime_years : ?endurance:float -> result -> float
+(** Equation 1 with the 32-core write rate. *)
+
+val run :
+  ?seed:int ->
+  ?scale:int ->
+  ?heap_scale:int ->
+  ?cap_mb:int ->
+  ?trace:bool ->
+  ?threads:int ->
+  mode:mode ->
+  spec ->
+  Kg_workload.Descriptor.t ->
+  result
+(** [scale] divides the benchmark's allocation volume (default 16);
+    [heap_scale] divides its live-heap target (default 3, floor 16 MB)
+    so that observer and major collections still fire in shortened
+    runs; [cap_mb] bounds the run length (default 256 MB). *)

@@ -1,0 +1,70 @@
+open Kg_gc
+
+type parts = {
+  app_ns : float;
+  gc_ns : float;
+  remset_ns : float;
+  monitor_ns : float;
+  mem_base_ns : float;
+  mem_pcm_extra_ns : float;
+}
+
+let total_ns p =
+  p.app_ns +. p.gc_ns +. p.remset_ns +. p.monitor_ns +. p.mem_base_ns +. p.mem_pcm_extra_ns
+
+let cpu_parts ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
+  let f = float_of_int in
+  let access_events = st.reads + st.ref_writes + st.prim_writes in
+  let copied = st.copied_bytes_nursery + st.copied_bytes_observer + st.copied_bytes_major in
+  let collections = st.nursery_gcs + st.observer_gcs + st.major_gcs in
+  let app_ns =
+    (f alloc_bytes *. Costs.t_alloc_per_byte_ns *. intensity)
+    +. (f access_events *. Costs.t_access_ns *. intensity)
+    +. (f (st.ref_writes + st.prim_writes) *. Costs.t_barrier_fast_ns)
+  in
+  let gc_ns =
+    (f copied *. Costs.t_copy_per_byte_ns)
+    +. (f (st.scanned_objects + st.remset_slot_updates) *. Costs.t_scan_per_object_ns)
+    +. (f collections *. Costs.t_gc_fixed_ns)
+  in
+  let remset_ns =
+    f (st.gen_remset_inserts + st.obs_remset_inserts) *. Costs.t_remset_insert_ns
+  in
+  let monitor_ns = f st.monitor_header_writes *. Costs.t_monitor_ns in
+  { app_ns; gc_ns; remset_ns; monitor_ns; mem_base_ns = 0.0; mem_pcm_extra_ns = 0.0 }
+
+let with_machine p (m : Machine.t) =
+  let open Kg_cache in
+  let open Kg_mem in
+  let f = float_of_int in
+  let dram = Controller.device m.Machine.ctrl Device.Dram in
+  let pcm = Controller.device m.Machine.ctrl Device.Pcm in
+  let reads k = f (Controller.reads m.Machine.ctrl k) in
+  let writes k = f (Controller.writes m.Machine.ctrl k) in
+  (* Base: every memory access at DRAM speed, plus cache lookup time.
+     Loads stall; stores are posted through the write queue. *)
+  let base =
+    (Hierarchy.hit_time_ns m.Machine.hier *. Costs.mem_read_overlap)
+    +. (reads Device.Dram +. reads Device.Pcm)
+       *. dram.Device.read_latency_ns *. Costs.mem_read_overlap
+    +. (writes Device.Dram +. writes Device.Pcm)
+       *. dram.Device.write_latency_ns *. Costs.mem_write_overlap
+  in
+  (* Extra: the latency PCM adds over DRAM on its accesses. *)
+  let extra =
+    (reads Device.Pcm
+    *. (pcm.Device.read_latency_ns -. dram.Device.read_latency_ns)
+    *. Costs.mem_read_overlap)
+    +. writes Device.Pcm
+       *. (pcm.Device.write_latency_ns -. dram.Device.write_latency_ns)
+       *. Costs.mem_write_overlap
+  in
+  { p with mem_base_ns = base; mem_pcm_extra_ns = extra }
+
+let seconds p = total_ns p *. 1e-9
+
+let pause_ms ~copied ~scanned =
+  (Costs.t_gc_fixed_ns
+  +. (float_of_int copied *. Costs.t_copy_per_byte_ns)
+  +. (float_of_int scanned *. Costs.t_scan_per_object_ns))
+  *. 1e-6

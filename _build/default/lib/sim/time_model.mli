@@ -1,0 +1,37 @@
+(** Execution-time reconstruction.
+
+    CPU-side time comes from the runtime's event counters (allocation
+    volume, access events, copied bytes, barrier activity); memory-side
+    time comes from the simulated hierarchy and controller, scaled by
+    the memory-level-parallelism overlap factor. In counting mode
+    (architecture-independent runs, the paper's real-hardware
+    experiments) there is no device time and all latencies are
+    effectively uniform, so only the CPU part is meaningful — exactly
+    like measuring on a DRAM machine (§6.2). *)
+
+type parts = {
+  app_ns : float;  (** mutator: allocation, zeroing, access events *)
+  gc_ns : float;  (** collection work: copies, scans, pauses *)
+  remset_ns : float;  (** remembered-set barrier slow paths *)
+  monitor_ns : float;  (** write-word monitoring slow paths *)
+  mem_base_ns : float;  (** stall time if every access cost DRAM latency *)
+  mem_pcm_extra_ns : float;  (** additional stalls from PCM's longer latencies *)
+}
+
+val total_ns : parts -> float
+
+val cpu_parts : ?intensity:float -> Kg_gc.Gc_stats.t -> alloc_bytes:int -> parts
+(** The CPU-side components; memory fields are zero. [intensity]
+    scales the application-compute term (benchmarks differ widely in
+    work per heap access; the workload descriptor carries the
+    calibrated value). *)
+
+val with_machine : parts -> Machine.t -> parts
+(** Add memory stall time from the machine's counters. *)
+
+val seconds : parts -> float
+
+val pause_ms : copied:int -> scanned:int -> float
+(** Stop-the-world pause estimate for one collection from its work
+    terms (used to check the paper's pause ordering: nursery <
+    observer < full-heap, §4.2.1). *)

@@ -1,0 +1,58 @@
+type kind = Linear of { lo : float; hi : float } | Log2
+
+type t = { kind : kind; counts : int array; mutable n : int; mutable sum : float }
+
+let create ?(lo = 0.0) ~hi ~bins () =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { kind = Linear { lo; hi }; counts = Array.make bins 0; n = 0; sum = 0.0 }
+
+let create_log2 ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create_log2: bins must be positive";
+  { kind = Log2; counts = Array.make bins 0; n = 0; sum = 0.0 }
+
+let index t x =
+  let bins = Array.length t.counts in
+  match t.kind with
+  | Linear { lo; hi } ->
+    let i = int_of_float (float_of_int bins *. (x -. lo) /. (hi -. lo)) in
+    max 0 (min (bins - 1) i)
+  | Log2 ->
+    let i = if x < 1.0 then 0 else int_of_float (Float.log2 x) in
+    max 0 (min (bins - 1) i)
+
+let addn t x k =
+  t.counts.(index t x) <- t.counts.(index t x) + k;
+  t.n <- t.n + k;
+  t.sum <- t.sum +. (x *. float_of_int k)
+
+let add t x = addn t x 1
+let count t = t.n
+let bin_count t i = t.counts.(i)
+let bins t = Array.length t.counts
+let total t = t.sum
+
+let bin_bounds t i =
+  let nbins = Array.length t.counts in
+  if i < 0 || i >= nbins then invalid_arg "Histogram.bin_bounds";
+  match t.kind with
+  | Linear { lo; hi } ->
+    let w = (hi -. lo) /. float_of_int nbins in
+    (lo +. (float_of_int i *. w), lo +. (float_of_int (i + 1) *. w))
+  | Log2 -> ((if i = 0 then 0.0 else 2.0 ** float_of_int i), 2.0 ** float_of_int (i + 1))
+
+let fraction_above t x =
+  if t.n = 0 then 0.0
+  else begin
+    let above = ref 0 in
+    for i = 0 to Array.length t.counts - 1 do
+      let lo, _ = bin_bounds t i in
+      if lo >= x then above := !above + t.counts.(i)
+    done;
+    float_of_int !above /. float_of_int t.n
+  end
+
+let coefficient_of_variation t =
+  let xs = Array.map float_of_int t.counts in
+  let m = Stats.mean xs in
+  if m = 0.0 then 0.0 else Stats.stddev xs /. m

@@ -1,0 +1,32 @@
+(** Fixed-bin and power-of-two histograms.
+
+    Used to verify wear-leveling uniformity (per-line write counts) and
+    to report object size / lifetime demographics. *)
+
+type t
+
+val create : ?lo:float -> hi:float -> bins:int -> unit -> t
+(** Linear histogram over [\[lo, hi)] ([lo] defaults to 0). Samples
+    outside the range are clamped to the first/last bin. *)
+
+val create_log2 : bins:int -> t
+(** Power-of-two histogram: bin [i] counts samples in [\[2^i, 2^(i+1))];
+    bin 0 also receives samples < 1. *)
+
+val add : t -> float -> unit
+val addn : t -> float -> int -> unit
+val count : t -> int
+val bin_count : t -> int -> int
+val bins : t -> int
+val total : t -> float
+
+val bin_bounds : t -> int -> float * float
+(** Inclusive-exclusive bounds of a bin. *)
+
+val fraction_above : t -> float -> float
+(** [fraction_above t x] is the fraction of samples in bins whose lower
+    bound is >= [x]. *)
+
+val coefficient_of_variation : t -> float
+(** stddev/mean over bin counts — 0 means perfectly uniform. Used to
+    check that wear-leveling spreads writes evenly. *)

@@ -1,0 +1,68 @@
+(* Backed by the stdlib's LXM generator (Random.State): deterministic
+   from a seed, splittable, and — unlike a hand-rolled xoshiro on boxed
+   Int64s — allocation-free on the [int]/[float] fast paths, which the
+   simulator hits several times per heap access. *)
+
+type t = Random.State.t
+
+let of_seed seed = Random.State.make [| seed |]
+let split t = Random.State.split t
+let copy t = Random.State.copy t
+let bits64 t = Random.State.bits64 t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p not in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    int_of_float (floor (log (1.0 -. u) /. log (1.0 -. p)))
+
+let pareto t ~alpha ~xmin =
+  let u = float t 1.0 in
+  xmin /. ((1.0 -. u) ** (1.0 /. alpha))
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if n = 1 then 0
+  else if s = 0.0 then int t n
+  else begin
+    (* Rejection-inversion (Hörmann & Derflinger). H is the integral of
+       the density envelope; we invert it and reject against the true
+       probability mass. *)
+    let nf = float_of_int n in
+    let h x = if s = 1.0 then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
+    let h_inv y = if s = 1.0 then exp y else ((1.0 -. s) *. y) ** (1.0 /. (1.0 -. s)) in
+    let h_x1 = h 1.5 -. 1.0 in
+    let h_n = h (nf +. 0.5) in
+    let rec draw () =
+      let u = h_x1 +. (float t 1.0 *. (h_n -. h_x1)) in
+      let x = h_inv u in
+      let k = Float.max 1.0 (Float.round x) in
+      if k -. x <= 0.5 || u >= h (k +. 0.5) -. (k ** -.s) then int_of_float k - 1 else draw ()
+    in
+    draw ()
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic choices in the simulator (object lifetimes, write
+    targets, workload interleavings) flow through this module so that
+    every experiment is reproducible from a seed. The generator is the
+    stdlib's LXM (L64X128), which is fast, splittable, and
+    allocation-free on the [int]/[float] paths the simulator hits
+    several times per heap access. *)
+
+type t
+(** Mutable generator state. *)
+
+val of_seed : int -> t
+(** [of_seed s] creates a generator from a 63-bit seed. Two generators
+    built from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each benchmark / subsystem its own stream so that
+    adding draws in one subsystem does not perturb another. *)
+
+val copy : t -> t
+(** [copy t] is a generator with identical state that evolves
+    independently from [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success
+    of a Bernoulli([p]) sequence; mean (1-p)/p. [p] must be in (0,1]. *)
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto(alpha, xmin) draw; heavy-tailed sizes/lifetimes. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws a rank in [\[0, n)] with probability
+    proportional to 1/(rank+1)^s, via rejection-inversion. Models the
+    skewed "top 2% of objects take 81% of writes" behaviour. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,36 @@
+(** Dependency-free SVG charts.
+
+    Renders the experiment tables as grouped bar charts and line charts
+    so regenerated figures can be eyeballed against the paper's. Output
+    is a standalone SVG document string. *)
+
+type series = string * float array
+(** (legend label, one value per category). *)
+
+val bar_chart :
+  ?width:int ->
+  ?height:int ->
+  ?ylabel:string ->
+  title:string ->
+  categories:string list ->
+  series:series list ->
+  unit ->
+  string
+(** Grouped vertical bars; series lengths must equal the category
+    count (raises [Invalid_argument] otherwise). The y-axis starts at
+    0 and is scaled to the maximum value with a small headroom. *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  title:string ->
+  series:(string * (float * float) array) list ->
+  unit ->
+  string
+(** Poly-line chart over (x, y) points (e.g. the Figure 13 heap
+    composition traces). *)
+
+val palette : int -> string
+(** Stable colour for series index [i]. *)

@@ -1,0 +1,65 @@
+type row = Cells of string array | Rule
+
+type t = { header : string array; mutable rows : row list (* reversed *) }
+
+let create ~columns = { header = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.header in
+  let cells = Array.of_list cells in
+  let len = Array.length cells in
+  if len > n then invalid_arg "Table.add_row: more cells than columns";
+  let padded = Array.make n "" in
+  Array.blit cells 0 padded 0 len;
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.header in
+  let widths = Array.map String.length t.header in
+  let fit = function
+    | Rule -> ()
+    | Cells cs -> Array.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cs
+  in
+  List.iter fit rows;
+  let buf = Buffer.create 1024 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_cells cs =
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (pad cs.(i) widths.(i));
+      if i < n - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let rule_len = Array.fold_left ( + ) (2 * (n - 1)) widths in
+  emit_cells t.header;
+  Buffer.add_string buf (String.make rule_len '-');
+  Buffer.add_char buf '\n';
+  List.iter (function Cells cs -> emit_cells cs | Rule -> Buffer.add_string buf (String.make rule_len '-'); Buffer.add_char buf '\n') rows;
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then begin
+    let b = Buffer.create (String.length c + 2) in
+    Buffer.add_char b '"';
+    String.iter (fun ch -> if ch = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b ch) c;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cs = Buffer.add_string buf (String.concat "," (List.map csv_cell (Array.to_list cs))); Buffer.add_char buf '\n' in
+  emit t.header;
+  List.iter (function Cells cs -> emit cs | Rule -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_f x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment output.
+
+    The experiment runners print each figure/table of the paper as an
+    aligned ASCII table (and optionally CSV) so results can be eyeballed
+    against the published numbers. *)
+
+type t
+
+val create : columns:string list -> t
+(** Create a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal separator (e.g. before an average row). *)
+
+val render : t -> string
+(** Aligned ASCII rendering, column widths fitted to content. *)
+
+val to_csv : t -> string
+(** CSV rendering (RFC-4180 quoting for cells containing commas). *)
+
+val cell_f : float -> string
+(** Format a float cell with 3 significant-looking decimals. *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage cell, e.g. 0.81 -> "81.0%". *)

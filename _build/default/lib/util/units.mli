@@ -1,0 +1,26 @@
+(** Byte / time unit constants and human-readable formatting. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val bytes_of_mib : int -> int
+val bytes_of_kib : int -> int
+
+val mib_of_bytes : int -> float
+val gib_of_bytes : int -> float
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Render a byte count with a binary suffix, e.g. "4.0 MiB". *)
+
+val pp_bytes_f : Format.formatter -> float -> unit
+(** Like {!pp_bytes} for fractional byte counts (rates, averages). *)
+
+val ns_per_s : float
+
+val pp_time_ns : Format.formatter -> float -> unit
+(** Render nanoseconds with an adaptive unit (ns / us / ms / s). *)
+
+val seconds_per_year : float
+(** The paper's lifetime formula uses 2^25 s ~ one year; we keep the
+    same constant so lifetime numbers are directly comparable. *)

@@ -1,0 +1,1 @@
+lib/workload/descriptor.ml: List String

@@ -1,0 +1,1 @@
+lib/workload/lifetime.ml: Descriptor Float Kg_util Option Rng

@@ -1,0 +1,1 @@
+lib/workload/lifetime.mli: Descriptor Kg_util

@@ -1,0 +1,1 @@
+lib/workload/mutator.ml: Array Descriptor Float Kg_gc Kg_heap Kg_util Layout Lifetime Object_model Option Rng Units Vec

@@ -1,0 +1,1 @@
+lib/workload/mutator.mli: Descriptor Kg_gc

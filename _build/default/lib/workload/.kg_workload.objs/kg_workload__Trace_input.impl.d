@@ -1,0 +1,1 @@
+lib/workload/trace_input.ml: Array In_channel Kg_gc Kg_heap List Printf String

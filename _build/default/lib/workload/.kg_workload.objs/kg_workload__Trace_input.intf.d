@@ -1,0 +1,1 @@
+lib/workload/trace_input.mli: Kg_gc Kg_heap

@@ -1,0 +1,58 @@
+(** Benchmark descriptors.
+
+    The paper evaluates 12 DaCapo benchmarks, two fixed variants
+    (lu.Fix, pmd.S), pseudojbb2005, and three GraphChi programs (PR, CC,
+    ALS). We cannot run Java, so each benchmark becomes a synthetic
+    mutator parameterised by the paper's published measurements:
+
+    - Table 4: allocation volume, heap size (2x min live), nursery and
+      observer survival rates;
+    - Figure 2: the nursery/mature write split and the top-2%/top-10%
+      mature write concentration;
+    - Table 3: 4-to-32-core write-rate scaling and estimated write
+      rates for the seven benchmarks the simulator runs;
+    - §6.2: which benchmarks are large-object heavy (xalan, lusearch,
+      luindex, the GraphChi trio).
+
+    The mutator reproduces the distributions of exactly the quantities
+    the collectors can observe, which is what makes the reproduction
+    meaningful without the original applications. *)
+
+type t = {
+  name : string;
+  simulated : bool;  (** in the 7-benchmark cycle-simulation subset *)
+  alloc_mb : int;  (** Table 4 col 1 *)
+  heap_mb : int;  (** Table 4 col 2 = 2x min live *)
+  nursery_survival : float;  (** Table 4 col 3 *)
+  observer_survival : float;  (** Table 4 col 16 *)
+  nursery_write_frac : float;  (** Figure 2 *)
+  top2_frac : float;  (** share of mature writes to hottest 2% *)
+  top10_frac : float;
+  write_alloc_ratio : float;  (** mutation-write bytes per allocated byte *)
+  read_write_ratio : float;  (** loads per store *)
+  ref_write_frac : float;  (** stores that are reference stores *)
+  large_frac : float;  (** fraction of allocated bytes in >8 KB objects *)
+  mean_small : int;  (** mean small-object size, bytes *)
+  scaling_32core : float;  (** Table 3 measured scaling (1.0 if unknown) *)
+  write_rate_gbs : float;  (** Table 3 estimated 32-core write rate; 0 if n/a *)
+  cpu_intensity : float;
+      (** application compute per heap access relative to the suite
+          baseline; calibrated so simulated 4-core write rates match
+          Table 3 (pmd, antlr and bloat do far more computation per
+          allocated byte than lusearch) *)
+}
+
+val all : t list
+(** All 18 benchmarks, in Figure 2's order. *)
+
+val simulated : t list
+(** The seven benchmarks of Figures 5-10 and Table 3 (xalan, pmd,
+    pmd.S, lusearch, lu.Fix, antlr, bloat). *)
+
+val find : string -> t
+(** Case-insensitive lookup by name; raises [Not_found]. *)
+
+val names : unit -> string list
+
+val live_mb : t -> int
+(** Minimum live size: half the fixed heap. *)

@@ -1,0 +1,286 @@
+open Kg_util
+open Kg_heap
+module O = Object_model
+module Rt = Kg_gc.Runtime
+
+let recent_size = 512
+let cold_cap = 4096
+let large_min = 12 * 1024
+let large_alpha = 1.3
+
+(* Per-logical-thread mutator state: its own PRNG stream, window of
+   recently allocated objects, and outstanding read/write debts. Pools
+   of mature targets are shared (threads share data structures). *)
+type thread = {
+  rng : Rng.t;
+  recent : O.t option array;
+  mutable recent_cursor : int;
+  mutable write_debt : float;
+  mutable read_debt : float;
+}
+
+type t = {
+  desc : Descriptor.t;
+  rt : Rt.t;
+  threads : thread array;
+  mutable cur : int;  (* round-robin position *)
+  life : Lifetime.t;
+  hot : O.t Vec.t;
+  warm : O.t Vec.t;
+  cold : O.t Vec.t;
+  mutable allocated : int;  (* objects *)
+  p_large : float;
+  large_mean : float;
+  live_mb : int;
+}
+
+let descriptor t = t.desc
+let runtime t = t.rt
+
+let create ?live_mb ?(threads = 1) desc ~rt ~seed =
+  (* Calibrated against the default sizes regardless of the collector
+     under test: lifetimes are a workload property. *)
+  let live_mb = Option.value live_mb ~default:(Descriptor.live_mb desc) in
+  let life =
+    Lifetime.make ~live_mb desc ~nursery_bytes:(4 * Units.mib) ~observer_bytes:(8 * Units.mib)
+  in
+  (* Mean of the truncated Pareto large-size distribution, to convert
+     the byte fraction of large allocation into a per-object draw. *)
+  let large_mean =
+    let a = large_alpha and x = float_of_int large_min in
+    a *. x /. (a -. 1.0)
+  in
+  let es = float_of_int desc.Descriptor.mean_small in
+  let f = desc.Descriptor.large_frac in
+  let p_large = if f <= 0.0 then 0.0 else f *. es /. (((1.0 -. f) *. large_mean) +. (f *. es)) in
+  let root = Rng.of_seed seed in
+  let mk_thread _ =
+    {
+      rng = Rng.split root;
+      recent = Array.make recent_size None;
+      recent_cursor = 0;
+      write_debt = 0.0;
+      read_debt = 0.0;
+    }
+  in
+  {
+    desc;
+    rt;
+    threads = Array.init (max 1 threads) mk_thread;
+    cur = 0;
+    life;
+    hot = Vec.create ();
+    warm = Vec.create ();
+    cold = Vec.create ();
+    allocated = 0;
+    p_large;
+    large_mean;
+    live_mb;
+  }
+
+let draw_small_size t th =
+  (* Geometric in words around the benchmark mean, 16 B..8 KB. *)
+  let mean_words = float_of_int t.desc.Descriptor.mean_small /. 8.0 in
+  let p = 1.0 /. Float.max 2.0 mean_words in
+  let words = 2 + Rng.geometric th.rng p in
+  min Layout.max_small_object (max 16 (words * 8))
+
+let draw_large_size th =
+  let s = Rng.pareto th.rng ~alpha:large_alpha ~xmin:(float_of_int large_min) in
+  min (2 * Units.mib) (int_of_float s)
+
+let assign_heat t th cls =
+  (* Hot objects must end up ~2% of *written* mature objects (Figure
+     2). Written mature objects also include the cold sample and the
+     warm class, so hot is rare and restricted to long-lived *churn*
+     objects (caches, session tables) - allocated at runtime, so they
+     pass through the observer where KG-W can classify them. The boot
+     image itself is read-mostly static data. *)
+  let long_like =
+    match cls with
+    | Lifetime.Long -> true
+    (* Benchmarks with (almost) no long-lived churn still have a hot
+       working set; it just lives in the medium class. *)
+    | Lifetime.Medium ->
+      t.desc.Descriptor.nursery_survival *. t.desc.Descriptor.observer_survival < 0.02
+    | _ -> false
+  in
+  if long_like then begin
+    let u = Rng.float th.rng 1.0 in
+    if u < 0.04 then O.Hot else if u < 0.20 then O.Warm else O.Cold
+  end
+  else
+    match cls with
+    | Lifetime.Short -> O.Cold
+    | Lifetime.Medium -> if Rng.bernoulli th.rng 0.02 then O.Warm else O.Cold
+    | Lifetime.Immortal -> if Rng.bernoulli th.rng 0.01 then O.Warm else O.Cold
+    | Lifetime.Long -> O.Cold
+
+let register t th (o : O.t) =
+  th.recent.(th.recent_cursor) <- Some o;
+  th.recent_cursor <- (th.recent_cursor + 1) mod recent_size;
+  t.allocated <- t.allocated + 1;
+  match o.heat with
+  | O.Hot -> Vec.push t.hot o
+  | O.Warm -> Vec.push t.warm o
+  | O.Cold ->
+    if Vec.length t.cold < cold_cap then Vec.push t.cold o
+    else if Rng.bernoulli th.rng (float_of_int cold_cap /. float_of_int t.allocated) then
+      Vec.set t.cold (Rng.int th.rng cold_cap) o
+
+let allocate_one t th =
+  let cls, life =
+    Lifetime.draw t.life th.rng ~nursery_remaining:(float_of_int (Rt.nursery_free t.rt))
+  in
+  let large = Rng.bernoulli th.rng t.p_large in
+  let size = if large then draw_large_size th else draw_small_size t th in
+  (* Large objects draw from the same lifetime mixture: "we find
+     empirically that large objects often follow the weak-generational
+     hypothesis, i.e., they die quickly" (4.2.4). *)
+  let heat = assign_heat t th cls in
+  let death = Rt.now t.rt +. life in
+  let ref_fields = max 1 (size / 32) in
+  let o = Rt.alloc t.rt ~size ~heat ~death ~ref_fields in
+  register t th o;
+  o
+
+(* Pick a live object from a pool, pruning dead entries on the way.
+   Returns None if the pool is effectively empty. *)
+let rec pick_live t th pool attempts =
+  if attempts = 0 || Vec.length pool = 0 then None
+  else begin
+    let i = Rng.int th.rng (Vec.length pool) in
+    let o = Vec.get pool i in
+    if O.is_live o (Rt.now t.rt) then Some o
+    else begin
+      ignore (Vec.swap_remove pool i);
+      pick_live t th pool (attempts - 1)
+    end
+  end
+
+let pick_recent t th =
+  let rec go attempts =
+    if attempts = 0 then None
+    else begin
+      match th.recent.(Rng.int th.rng recent_size) with
+      | Some o when O.is_live o (Rt.now t.rt) -> Some o
+      | _ -> go (attempts - 1)
+    end
+  in
+  go 4
+
+(* Writes within the hot class are themselves skewed (a few session
+   tables/caches dominate), so rank hot picks with a Zipf draw over
+   registration order rather than uniformly. *)
+let pick_hot t th attempts =
+  let pool = t.hot in
+  let rec go attempts =
+    if attempts = 0 || Vec.length pool = 0 then None
+    else begin
+      let i = Rng.zipf th.rng ~n:(Vec.length pool) ~s:1.2 in
+      let o = Vec.get pool i in
+      if O.is_live o (Rt.now t.rt) then Some o
+      else begin
+        ignore (Vec.swap_remove pool i);
+        go (attempts - 1)
+      end
+    end
+  in
+  go attempts
+
+let pick_mature t th =
+  let d = t.desc in
+  let u = Rng.float th.rng 1.0 in
+  let primary =
+    if u < d.Descriptor.top2_frac then pick_hot t th 8
+    else if u < d.Descriptor.top10_frac then pick_live t th t.warm 8
+    else pick_live t th t.cold 8
+  in
+  match primary with
+  | Some _ as r -> r
+  | None -> (
+    match pick_live t th t.cold 8 with Some _ as r -> r | None -> pick_recent t th)
+
+let pick_write_target t th =
+  if Rng.bernoulli th.rng t.desc.Descriptor.nursery_write_frac then
+    match pick_recent t th with Some o -> Some o | None -> pick_mature t th
+  else match pick_mature t th with Some o -> Some o | None -> pick_recent t th
+
+let do_write t th =
+  match pick_write_target t th with
+  | None -> ()
+  | Some src ->
+    if Rng.bernoulli th.rng t.desc.Descriptor.ref_write_frac then begin
+      let tgt =
+        if Rng.bernoulli th.rng 0.5 then
+          match pick_recent t th with Some o -> Some o | None -> pick_mature t th
+        else pick_mature t th
+      in
+      match tgt with
+      | Some tgt -> Rt.write_ref t.rt ~src ~tgt
+      | None -> Rt.write_prim t.rt src
+    end
+    else Rt.write_prim t.rt src
+
+(* Reads come in streaming bursts over one object (field walks, array
+   scans), so one target pick services several load events. *)
+let do_reads t th n =
+  let target = if Rng.bernoulli th.rng 0.6 then pick_recent t th else pick_mature t th in
+  match target with Some o -> Rt.read_burst t.rt o n | None -> ()
+
+let mutate_for t th (o : O.t) =
+  let d = t.desc in
+  th.write_debt <-
+    th.write_debt +. (float_of_int o.size *. d.Descriptor.write_alloc_ratio /. 8.0);
+  while th.write_debt >= 1.0 do
+    do_write t th;
+    th.write_debt <- th.write_debt -. 1.0;
+    th.read_debt <- th.read_debt +. d.Descriptor.read_write_ratio;
+    if th.read_debt >= 1.0 then begin
+      let burst = min 8 (int_of_float th.read_debt) in
+      do_reads t th burst;
+      th.read_debt <- th.read_debt -. float_of_int burst
+    end
+  done
+
+let allocate_startup t =
+  (* Boot image: immortal objects placed directly in the mature space.
+     They still join the target pools, so long-lived hot data (session
+     tables, caches) receives its share of mature writes. *)
+  let th = t.threads.(0) in
+  let target = 0.4 *. float_of_int t.live_mb *. float_of_int Units.mib in
+  let start = Rt.now t.rt in
+  while Rt.now t.rt -. start < target do
+    let large = Rng.bernoulli th.rng t.p_large in
+    let size = if large then draw_large_size th else draw_small_size t th in
+    let heat = assign_heat t th Lifetime.Immortal in
+    let o = Rt.alloc_boot t.rt ~size ~heat ~ref_fields:(max 1 (size / 32)) in
+    register t th o
+  done
+
+(* Each engine step runs one thread for a small burst of allocations,
+   then rotates: the coarse interleaving real schedulers produce. *)
+let burst_allocs = 16
+
+let run t ~alloc_bytes ?(on_tick = fun _ -> ()) ?(tick_bytes = Units.mib) () =
+  let start = Rt.now t.rt in
+  let next_tick = ref (start +. float_of_int tick_bytes) in
+  let target = start +. float_of_int alloc_bytes in
+  while Rt.now t.rt < target do
+    let th = t.threads.(t.cur) in
+    t.cur <- (t.cur + 1) mod Array.length t.threads;
+    let deadline = Float.min target (Rt.now t.rt +. float_of_int (burst_allocs * 256)) in
+    while Rt.now t.rt < deadline do
+      let o = allocate_one t th in
+      mutate_for t th o
+    done;
+    if Rt.now t.rt >= !next_tick then begin
+      on_tick (Rt.now t.rt);
+      next_tick := !next_tick +. float_of_int tick_bytes
+    end
+  done
+
+let scaled_alloc_bytes (d : Descriptor.t) ~scale ~cap_mb =
+  let scaled = d.alloc_mb / max 1 scale in
+  let floor_mb = min d.alloc_mb 96 in
+  min cap_mb (max floor_mb scaled) * Units.mib

@@ -1,0 +1,40 @@
+(** The synthetic mutator: turns a {!Descriptor} into the allocation,
+    write, and read stream the runtime executes.
+
+    Each allocated object gets a size (geometric around the benchmark's
+    mean, or a heavy-tailed large size), a lifetime class from
+    {!Lifetime}, and a hotness class. Mutation writes follow the
+    descriptor's nursery/mature split; mature writes pick their target
+    through the hot/warm/cold pools so the top-2 % of mature objects
+    absorb the paper's top-2 % write share (Figure 2). Reference writes
+    pick targets young often enough to exercise both remembered sets. *)
+
+type t
+
+val create : ?live_mb:int -> ?threads:int -> Descriptor.t -> rt:Kg_gc.Runtime.t -> seed:int -> t
+(** [live_mb] overrides the benchmark's live-heap target for scaled
+    runs; lifetime calibration and the startup base follow it.
+    [threads] (default 1) models that many logical mutator threads:
+    each gets its own PRNG stream, recent-allocation window and
+    read/write debts, and the engine interleaves them in small bursts —
+    interleaved allocation is what degrades locality as core counts
+    grow (Table 3). *)
+
+val descriptor : t -> Descriptor.t
+val runtime : t -> Kg_gc.Runtime.t
+
+val allocate_startup : t -> unit
+(** Allocate the immortal base: 40 % of the benchmark's live target,
+    modeling boot images and static data. Run once before {!run}. *)
+
+val run :
+  t -> alloc_bytes:int -> ?on_tick:(float -> unit) -> ?tick_bytes:int -> unit -> unit
+(** Allocate and mutate until [alloc_bytes] more bytes have been
+    allocated. [on_tick] fires roughly every [tick_bytes] (default
+    1 MiB) of allocation with the current allocation clock — the hook
+    the Figure 13 traces use. *)
+
+val scaled_alloc_bytes : Descriptor.t -> scale:int -> cap_mb:int -> int
+(** The run length used by the experiment drivers: the benchmark's
+    allocation volume divided by [scale], clamped to at least 48 MB
+    (or the full volume when smaller) and at most [cap_mb]. *)

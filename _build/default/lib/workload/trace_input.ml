@@ -1,0 +1,105 @@
+module O = Kg_heap.Object_model
+module Rt = Kg_gc.Runtime
+
+type event =
+  | Alloc of { size : int; lifetime : float; heat : O.heat }
+  | Write of { back : int; is_ref : bool }
+  | Read of { back : int; burst : int }
+
+let window = 4096
+
+let heat_of_string = function
+  | "hot" -> Ok O.Hot
+  | "warm" -> Ok O.Warm
+  | "cold" -> Ok O.Cold
+  | s -> Error (Printf.sprintf "unknown heat %S" s)
+
+let int_of field s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> Ok v
+  | _ -> Error (Printf.sprintf "bad %s %S" field s)
+
+let ( >>= ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | "alloc" :: size :: lifetime :: rest ->
+      int_of "size" size >>= fun size ->
+      (if lifetime = "inf" then Ok infinity
+       else
+         match float_of_string_opt lifetime with
+         | Some v when v >= 0.0 -> Ok v
+         | _ -> Error (Printf.sprintf "bad lifetime %S" lifetime))
+      >>= fun lifetime ->
+      (match rest with
+      | [] -> Ok O.Cold
+      | [ h ] -> heat_of_string h
+      | _ -> Error "trailing tokens after alloc")
+      >>= fun heat -> Ok (Some (Alloc { size; lifetime; heat }))
+    | "write" :: back :: rest ->
+      int_of "index" back >>= fun back ->
+      (match rest with
+      | [] | [ "prim" ] -> Ok false
+      | [ "ref" ] -> Ok true
+      | _ -> Error "trailing tokens after write")
+      >>= fun is_ref -> Ok (Some (Write { back; is_ref }))
+    | "read" :: back :: rest ->
+      int_of "index" back >>= fun back ->
+      (match rest with
+      | [] -> Ok 1
+      | [ b ] -> int_of "burst" b
+      | _ -> Error "trailing tokens after read")
+      >>= fun burst -> Ok (Some (Read { back; burst = max 1 burst }))
+    | verb :: _ -> Error (Printf.sprintf "unknown event %S" verb)
+    | [] -> Ok None
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go (n + 1) acc rest
+      | Ok (Some e) -> go (n + 1) (e :: acc) rest
+      | Error m -> Error (Printf.sprintf "line %d: %s" n m))
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error m -> Error m
+
+let replay rt events =
+  let recent = Array.make window None in
+  let cursor = ref 0 in
+  let lookup back =
+    if back >= window then None
+    else
+      match recent.((!cursor - 1 - back + (2 * window)) mod window) with
+      | Some o when O.is_live o (Rt.now rt) -> Some o
+      | _ -> None
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Alloc { size; lifetime; heat } ->
+        let death = Rt.now rt +. lifetime in
+        let o = Rt.alloc rt ~size ~heat ~death ~ref_fields:(max 1 (size / 32)) in
+        recent.(!cursor mod window) <- Some o;
+        incr cursor
+      | Write { back; is_ref } -> (
+        match lookup back with
+        | None -> ()
+        | Some o ->
+          if is_ref then
+            match lookup 0 with
+            | Some tgt -> Rt.write_ref rt ~src:o ~tgt
+            | None -> Rt.write_prim rt o
+          else Rt.write_prim rt o)
+      | Read { back; burst } -> (
+        match lookup back with Some o -> Rt.read_burst rt o burst | None -> ()))
+    events

@@ -1,0 +1,37 @@
+(** Replaying external allocation traces.
+
+    The built-in descriptors are calibrated to the paper's benchmarks,
+    but a downstream user evaluating write-rationing on their own
+    application can feed a recorded allocation trace instead. The
+    format is one event per line:
+
+    {v
+    # comment
+    alloc <size-bytes> <lifetime-bytes|inf> [hot|warm|cold]
+    write <index-back> [ref|prim]
+    read <index-back> [burst]
+    v}
+
+    [index-back] addresses a previously allocated object: 0 is the most
+    recent allocation, 1 the one before it, etc. (a sliding window of
+    the last 4096 allocations); dead or out-of-window targets are
+    skipped. Lifetimes are in bytes of future allocation, matching the
+    simulator's allocation clock. *)
+
+type event =
+  | Alloc of { size : int; lifetime : float; heat : Kg_heap.Object_model.heat }
+  | Write of { back : int; is_ref : bool }
+  | Read of { back : int; burst : int }
+
+val parse_line : string -> (event option, string) result
+(** [Ok None] for blank/comment lines; [Error msg] names the problem. *)
+
+val parse_string : string -> (event list, string) result
+(** Parse a whole trace; the error is prefixed with its line number. *)
+
+val load : string -> (event list, string) result
+(** Read a trace file. *)
+
+val replay : Kg_gc.Runtime.t -> event list -> unit
+(** Execute the events against a runtime (allocation, barriers, GCs
+    all behave exactly as under the synthetic mutator). *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Controller Float Hierarchy Kg_cache Kg_mem List QCheck QCheck_alcotest

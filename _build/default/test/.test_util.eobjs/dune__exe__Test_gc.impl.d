@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Gc_config Gc_stats Kg_gc Kg_heap Kg_mem Kg_util List Mem_iface Phase QCheck QCheck_alcotest Remset Runtime

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Arena Array Bump_space Freelist_space Immix_space Kg_heap Kg_mem Kg_util Layout List Los Meta_space Object_model QCheck QCheck_alcotest

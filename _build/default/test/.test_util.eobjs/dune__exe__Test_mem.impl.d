@@ -1,0 +1,1 @@
+test/test_mem.ml: Address_map Alcotest Device Float Kg_mem Kg_util Lifetime List QCheck QCheck_alcotest Wear

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Kg_cache Kg_gc Kg_heap Kg_mem Kg_os Kg_util Write_partition

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Costs Energy Experiments Float Hashtbl Kg_cache Kg_gc Kg_mem Kg_sim Kg_util Kg_workload List Machine Option Run String Time_model

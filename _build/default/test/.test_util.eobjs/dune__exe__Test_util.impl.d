@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format Fun Histogram Kg_util List QCheck QCheck_alcotest Rng Stats String Svg_chart Table Units Vec

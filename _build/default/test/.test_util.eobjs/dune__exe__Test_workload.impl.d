@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Descriptor Float Fun Kg_gc Kg_heap Kg_mem Kg_util Kg_workload Lifetime List Mutator Printf QCheck QCheck_alcotest String Trace_input

@@ -1,0 +1,256 @@
+open Kg_cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_cache () = Cache.create ~name:"t" ~size:(4 * 64 * 2) ~ways:2 ~line_size:64 ~latency_ns:1.0
+(* 4 sets x 2 ways x 64 B *)
+
+(* ------------------------------------------------------------------ *)
+(* Single cache                                                        *)
+
+let test_cache_miss_then_hit () =
+  let c = small_cache () in
+  check_bool "first touch misses" false (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:0 ~write:false ~tag:0);
+  check_bool "then hits" true (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  check_bool "same line hits" true (Cache.probe c ~addr:63 ~write:false ~tag:0);
+  check_bool "next line misses" false (Cache.probe c ~addr:64 ~write:false ~tag:0)
+
+let test_cache_clean_eviction_silent () =
+  let c = small_cache () in
+  (* three blocks mapping to set 0 in a 2-way set: 0, 4*64, 8*64 *)
+  ignore (Cache.fill c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:(4 * 64) ~write:false ~tag:0);
+  let wb = Cache.fill c ~addr:(8 * 64) ~write:false ~tag:0 in
+  check_bool "clean victim: no writeback" true (wb = None)
+
+let test_cache_dirty_eviction_carries_tag () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:true ~tag:3);
+  ignore (Cache.fill c ~addr:(4 * 64) ~write:false ~tag:0);
+  match Cache.fill c ~addr:(8 * 64) ~write:false ~tag:0 with
+  | Some { Cache.wb_addr; wb_tag } ->
+    check_int "victim address" 0 wb_addr;
+    check_int "writer tag preserved" 3 wb_tag
+  | None -> Alcotest.fail "expected dirty writeback"
+
+let test_cache_lru_order () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:(4 * 64) ~write:false ~tag:0);
+  (* touch block 0 so block 4*64 becomes LRU *)
+  ignore (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:(8 * 64) ~write:false ~tag:0);
+  check_bool "recently used stays" true (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  check_bool "LRU evicted" false (Cache.probe c ~addr:(4 * 64) ~write:false ~tag:0)
+
+let test_cache_write_hit_sets_dirty () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.probe c ~addr:0 ~write:true ~tag:2);
+  ignore (Cache.fill c ~addr:(4 * 64) ~write:false ~tag:0);
+  (match Cache.fill c ~addr:(8 * 64) ~write:false ~tag:0 with
+  | Some { Cache.wb_tag; _ } -> check_int "dirtied by probe" 2 wb_tag
+  | None -> Alcotest.fail "expected writeback")
+
+let test_cache_invalidate_all () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:true ~tag:1);
+  ignore (Cache.fill c ~addr:128 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:256 ~write:true ~tag:2);
+  let wbs = Cache.invalidate_all c in
+  check_int "two dirty lines" 2 (List.length wbs);
+  check_bool "all invalid now" false (Cache.probe c ~addr:0 ~write:false ~tag:0)
+
+let test_cache_stats () =
+  let c = small_cache () in
+  ignore (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.fill c ~addr:0 ~write:false ~tag:0);
+  ignore (Cache.probe c ~addr:0 ~write:false ~tag:0);
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  Cache.reset_stats c;
+  check_int "reset" 0 (Cache.stats c).Cache.hits
+
+let test_cache_create_validation () =
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Cache.create: sets and line_size must be powers of two") (fun () ->
+      ignore (Cache.create ~name:"x" ~size:(3 * 64 * 2) ~ways:2 ~line_size:64 ~latency_ns:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                          *)
+
+let hybrid_ctrl () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:4096 ~pcm_size:8192 () in
+  Controller.create ~map ~line_size:64 ()
+
+let test_controller_routing () =
+  let c = hybrid_ctrl () in
+  Controller.line_read c 0;
+  Controller.line_write c 0 ~tag:0;
+  Controller.line_write c 4096 ~tag:1;
+  check_int "dram reads" 1 (Controller.reads c Kg_mem.Device.Dram);
+  check_int "dram writes" 1 (Controller.writes c Kg_mem.Device.Dram);
+  check_int "pcm writes" 1 (Controller.writes c Kg_mem.Device.Pcm);
+  check_int "pcm bytes" 64 (Controller.bytes_written c Kg_mem.Device.Pcm)
+
+let test_controller_tags () =
+  let c = hybrid_ctrl () in
+  Controller.line_write c 4096 ~tag:2;
+  Controller.line_write c 4160 ~tag:2;
+  Controller.line_write c 4224 ~tag:3;
+  let tags = Controller.writes_by_tag c Kg_mem.Device.Pcm in
+  check_int "tag 2" 2 tags.(2);
+  check_int "tag 3" 1 tags.(3)
+
+let test_controller_wear_feed () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:4096 ~pcm_size:8192 () in
+  let wear = Kg_mem.Wear.create ~size:8192 () in
+  let c = Controller.create ~map ~wear ~line_size:64 () in
+  Controller.line_write c 4096 ~tag:0;
+  Controller.line_write c 0 ~tag:0;
+  (* dram: not counted *)
+  check_int "wear sees pcm writes only" 1 (Kg_mem.Wear.total_writes wear)
+
+let test_controller_time_energy () =
+  let c = hybrid_ctrl () in
+  Controller.line_read c 4096;
+  (* pcm read: 180 ns *)
+  check_bool "time accumulates" true (Float.abs (Controller.access_time_ns c -. 180.0) < 1e-9);
+  check_bool "energy accumulates" true (Controller.access_energy_j c > 0.0);
+  Controller.reset c;
+  check_bool "reset" true (Controller.access_time_ns c = 0.0)
+
+let test_controller_on_write_hook () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:4096 ~pcm_size:8192 () in
+  let seen = ref [] in
+  let c = Controller.create ~on_write:(fun a -> seen := a :: !seen) ~map ~line_size:64 () in
+  Controller.line_write c 4096 ~tag:0;
+  Controller.line_write c 128 ~tag:0;
+  Alcotest.(check (list int)) "hook sees all writes" [ 128; 4096 ] !seen
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+
+let tiny_hier () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:65536 ~pcm_size:65536 () in
+  let ctrl = Controller.create ~map ~line_size:64 () in
+  let l1 = { Hierarchy.size = 512; ways = 2; latency_ns = 1.0 } in
+  let l2 = { Hierarchy.size = 1024; ways = 2; latency_ns = 2.0 } in
+  let l3 = { Hierarchy.size = 2048; ways = 2; latency_ns = 3.0 } in
+  (Hierarchy.create ~l1 ~l2 ~l3 ~controller:ctrl (), ctrl)
+
+let test_hierarchy_read_miss_reaches_memory () =
+  let h, ctrl = tiny_hier () in
+  Hierarchy.read h 0;
+  check_int "memory read" 1 (Controller.reads ctrl Kg_mem.Device.Dram);
+  Hierarchy.read h 0;
+  check_int "second read cached" 1 (Controller.reads ctrl Kg_mem.Device.Dram)
+
+let test_hierarchy_dirty_line_drains () =
+  let h, ctrl = tiny_hier () in
+  Hierarchy.set_phase h 3;
+  Hierarchy.write h 65536;
+  (* pcm side *)
+  check_int "no writeback yet" 0 (Controller.writes ctrl Kg_mem.Device.Pcm);
+  Hierarchy.drain h;
+  check_int "drained to pcm" 1 (Controller.writes ctrl Kg_mem.Device.Pcm);
+  let tags = Controller.writes_by_tag ctrl Kg_mem.Device.Pcm in
+  check_int "phase tag survives hierarchy" 1 tags.(3)
+
+let test_hierarchy_caches_absorb_rewrites () =
+  let h, ctrl = tiny_hier () in
+  for _ = 1 to 1000 do
+    Hierarchy.write h 65536
+  done;
+  Hierarchy.drain h;
+  check_int "1000 writes, one writeback" 1 (Controller.writes ctrl Kg_mem.Device.Pcm)
+
+let test_hierarchy_access_range_spans_lines () =
+  let h, _ = tiny_hier () in
+  Hierarchy.access_range h ~addr:32 ~size:90 ~write:false;
+  (* [32,122) touches the lines at 0 and 64 *)
+  check_int "two line accesses" 2 (Hierarchy.accesses h);
+  Hierarchy.access_range h ~addr:0 ~size:257 ~write:false;
+  (* [0,257) touches lines 0,64,128,192,256 *)
+  check_int "five more" 7 (Hierarchy.accesses h)
+
+let test_hierarchy_capacity_eviction_to_memory () =
+  let h, ctrl = tiny_hier () in
+  (* dirty far more lines than total cache capacity (56 lines) *)
+  for i = 0 to 299 do
+    Hierarchy.write h (65536 + (i * 64))
+  done;
+  check_bool "capacity evictions reach pcm" true (Controller.writes ctrl Kg_mem.Device.Pcm > 100)
+
+let test_hierarchy_stats_levels () =
+  let h, _ = tiny_hier () in
+  Hierarchy.read h 0;
+  Hierarchy.read h 0;
+  let s = Hierarchy.level_stats h in
+  check_int "3 levels" 3 (Array.length s);
+  check_int "l1 hit on re-read" 1 s.(0).Cache.hits;
+  check_bool "hit time accumulates" true (Hierarchy.hit_time_ns h > 0.0)
+
+let hierarchy_conservation_qcheck =
+  QCheck.Test.make ~name:"hierarchy: writebacks bounded, drain idempotent" ~count:50
+    QCheck.(small_list (pair bool (int_bound 100_000)))
+    (fun ops ->
+      let h, ctrl = tiny_hier () in
+      let writes = ref 0 in
+      List.iter
+        (fun (is_write, addr) ->
+          if is_write then begin
+            incr writes;
+            Hierarchy.write h addr
+          end
+          else Hierarchy.read h addr)
+        ops;
+      Hierarchy.drain h;
+      let wb =
+        Controller.writes ctrl Kg_mem.Device.Dram + Controller.writes ctrl Kg_mem.Device.Pcm
+      in
+      let before = wb in
+      Hierarchy.drain h;
+      let after =
+        Controller.writes ctrl Kg_mem.Device.Dram + Controller.writes ctrl Kg_mem.Device.Pcm
+      in
+      (* a line writeback needs at least one demand write, and a second
+         drain with no traffic in between finds nothing dirty *)
+      wb <= !writes && after = before)
+
+let () =
+  Alcotest.run "kg_cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "clean eviction silent" `Quick test_cache_clean_eviction_silent;
+          Alcotest.test_case "dirty eviction carries tag" `Quick test_cache_dirty_eviction_carries_tag;
+          Alcotest.test_case "lru order" `Quick test_cache_lru_order;
+          Alcotest.test_case "write hit dirties" `Quick test_cache_write_hit_sets_dirty;
+          Alcotest.test_case "invalidate all" `Quick test_cache_invalidate_all;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "creation validation" `Quick test_cache_create_validation;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "routing" `Quick test_controller_routing;
+          Alcotest.test_case "per-tag writes" `Quick test_controller_tags;
+          Alcotest.test_case "wear feed" `Quick test_controller_wear_feed;
+          Alcotest.test_case "time and energy" `Quick test_controller_time_energy;
+          Alcotest.test_case "on_write hook" `Quick test_controller_on_write_hook;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "read miss reaches memory" `Quick test_hierarchy_read_miss_reaches_memory;
+          Alcotest.test_case "dirty line drains" `Quick test_hierarchy_dirty_line_drains;
+          Alcotest.test_case "caches absorb rewrites" `Quick test_hierarchy_caches_absorb_rewrites;
+          Alcotest.test_case "access_range spans lines" `Quick test_hierarchy_access_range_spans_lines;
+          Alcotest.test_case "capacity evictions" `Quick test_hierarchy_capacity_eviction_to_memory;
+          Alcotest.test_case "level stats" `Quick test_hierarchy_stats_levels;
+          QCheck_alcotest.to_alcotest hierarchy_conservation_qcheck;
+        ] );
+    ]

@@ -1,0 +1,457 @@
+open Kg_heap
+module O = Object_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let mib = Kg_util.Units.mib
+
+let fresh_arena ?(size = 256 * mib) ?(kind = Kg_mem.Device.Pcm) () =
+  Arena.create ~kind ~base:(4 * mib) ~size
+
+let obj ?(size = 64) ?(heat = O.Cold) ?(death = infinity) id =
+  O.make ~id ~size ~heat ~death ~ref_fields:2
+
+(* ------------------------------------------------------------------ *)
+(* Layout and object model                                             *)
+
+let test_layout_constants () =
+  check_int "line matches PCM line" 256 Layout.line;
+  check_int "block" (32 * 1024) Layout.block;
+  check_int "lines per block" 128 Layout.lines_per_block;
+  check_int "max small" (8 * 1024) Layout.max_small_object;
+  check_int "mdo table" (262 * 1024) Layout.mark_table_bytes_per_region
+
+let test_layout_align () =
+  check_int "align_up" 16 (Layout.align_up 9 8);
+  check_int "align id" 16 (Layout.align_up 16 8);
+  check_int "object min" Layout.min_object (Layout.align_object_size 1);
+  check_int "object align" 24 (Layout.align_object_size 17)
+
+let test_object_predicates () =
+  let small = obj ~size:16 1 in
+  let big = obj ~size:(9 * 1024) 2 in
+  check_bool "small16" true (O.is_small16 small);
+  check_bool "not small16" false (O.is_small16 (obj ~size:24 3));
+  check_bool "large" true (O.is_large big);
+  check_bool "not large" false (O.is_large (obj ~size:(8 * 1024) 4))
+
+let test_object_liveness () =
+  let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:100.0 ~ref_fields:1 in
+  check_bool "live before" true (O.is_live o 99.0);
+  check_bool "dead at" false (O.is_live o 100.0);
+  check_bool "immortal" true (O.is_live (obj 2) 1e18)
+
+let test_object_field_addr () =
+  let o = obj ~size:64 1 in
+  o.O.addr <- 1000;
+  for i = 0 to 20 do
+    let a = O.field_addr o i in
+    check_bool "within payload" true (a >= 1000 + Layout.header_bytes && a < 1064)
+  done;
+  check_int "end addr" 1064 (O.end_addr o)
+
+let test_object_size_validation () =
+  Alcotest.check_raises "too small" (Invalid_argument "Object_model.make: size below minimum")
+    (fun () -> ignore (O.make ~id:1 ~size:4 ~heat:O.Cold ~death:0.0 ~ref_fields:0))
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+
+let test_arena_reserve () =
+  let a = fresh_arena ~size:(64 * 1024) () in
+  let r1 = Arena.reserve a 100 in
+  let r2 = Arena.reserve a 100 in
+  check_int "page aligned spacing" Layout.page (r2 - r1);
+  check_int "reserved" (2 * Layout.page) (Arena.reserved_bytes a);
+  check_bool "remaining" true (Arena.remaining a = (64 * 1024) - (2 * Layout.page))
+
+let test_arena_exhaustion () =
+  let a = fresh_arena ~size:Layout.page () in
+  ignore (Arena.reserve a 1);
+  Alcotest.check_raises "exhausted"
+    (Failure "Arena.reserve: PCM arena exhausted (4096 requested, 0 left)") (fun () ->
+      ignore (Arena.reserve a 1))
+
+(* ------------------------------------------------------------------ *)
+(* Bump space                                                          *)
+
+let test_bump_contiguous () =
+  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:mib in
+  let o1 = obj ~size:64 1 and o2 = obj ~size:32 2 in
+  check_bool "alloc" true (Bump_space.alloc sp o1);
+  check_bool "alloc" true (Bump_space.alloc sp o2);
+  check_int "contiguous" (o1.O.addr + 64) o2.O.addr;
+  check_int "space id set" 0 o2.O.space;
+  check_int "used" 96 (Bump_space.used_bytes sp);
+  check_int "population" 2 (Kg_util.Vec.length (Bump_space.objects sp))
+
+let test_bump_full_and_reset () =
+  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:128 in
+  check_bool "fits" true (Bump_space.alloc sp (obj ~size:128 1));
+  check_bool "full" false (Bump_space.alloc sp (obj ~size:8 2));
+  Bump_space.reset sp;
+  check_bool "empty after reset" true (Bump_space.is_empty sp);
+  check_bool "reusable" true (Bump_space.alloc sp (obj ~size:8 3))
+
+let test_bump_live_bytes () =
+  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:mib in
+  ignore (Bump_space.alloc sp (obj ~size:64 ~death:50.0 1));
+  ignore (Bump_space.alloc sp (obj ~size:32 ~death:200.0 2));
+  check_int "live at 100" 32 (Bump_space.live_bytes sp ~now:100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Immix space                                                         *)
+
+let mk_immix ?(arena = fresh_arena ()) () =
+  Immix_space.create ~id:3 ~name:"mature" ~arena ()
+
+let test_immix_alloc_in_blocks () =
+  let sp = mk_immix () in
+  let o1 = obj ~size:100 1 in
+  check_bool "alloc" true (Immix_space.alloc sp o1);
+  check_bool "addr assigned" true (o1.O.addr > 0);
+  check_int "space" 3 o1.O.space;
+  check_int "one region" 1 (Immix_space.region_count sp);
+  check_int "footprint" Layout.mature_region (Immix_space.footprint_bytes sp)
+
+let test_immix_objects_never_cross_blocks () =
+  let sp = mk_immix () in
+  for i = 1 to 5000 do
+    let o = obj ~size:(16 + 8 * (i mod 900)) i in
+    check_bool "alloc ok" true (Immix_space.alloc sp o);
+    let block_of a = a / Layout.block in
+    check_int "within one block" (block_of o.O.addr) (block_of (o.O.addr + o.O.size - 1))
+  done
+
+let test_immix_rejects_large () =
+  let sp = mk_immix () in
+  Alcotest.check_raises "large rejected" (Invalid_argument "Immix_space.alloc: large object")
+    (fun () -> ignore (Immix_space.alloc sp (obj ~size:(16 * 1024) 1)))
+
+let test_immix_sweep_reclaims () =
+  let sp = mk_immix () in
+  for i = 1 to 100 do
+    ignore (Immix_space.alloc sp (obj ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) i))
+  done;
+  let dead = ref 0 in
+  let stats = Immix_space.sweep sp ~now:20.0 ~on_dead:(fun _ -> incr dead) () in
+  check_int "dead objects" 50 stats.Immix_space.swept_objects;
+  check_int "on_dead callback" 50 !dead;
+  check_int "survivors" 50 (Kg_util.Vec.length (Immix_space.objects sp));
+  check_int "live bytes" (50 * 256) (Immix_space.live_bytes sp)
+
+let test_immix_recycles_lines () =
+  let arena = fresh_arena ~size:(2 * Layout.mature_region) () in
+  let sp = mk_immix ~arena () in
+  (* fill one region with short-lived objects, sweep, then refill: the
+     space must reuse the freed lines instead of growing *)
+  let per_region = Layout.mature_region / 256 in
+  for i = 1 to per_region do
+    ignore (Immix_space.alloc sp (obj ~size:256 ~death:10.0 i))
+  done;
+  check_int "one region so far" 1 (Immix_space.region_count sp);
+  ignore (Immix_space.sweep sp ~now:20.0 ());
+  for i = 1 to per_region do
+    ignore (Immix_space.alloc sp (obj ~size:256 i))
+  done;
+  check_int "no growth after sweep" 1 (Immix_space.region_count sp)
+
+let test_immix_sweep_stats_classify () =
+  let sp = mk_immix () in
+  (* one immortal object pins one block's lines *)
+  ignore (Immix_space.alloc sp (obj ~size:256 1));
+  let stats = Immix_space.sweep sp ~now:0.0 () in
+  check_int "one recyclable" 1 stats.Immix_space.recyclable_blocks;
+  check_int "rest free" (Layout.mature_region / Layout.block - 1) stats.Immix_space.free_blocks;
+  check_int "one line marked" 1 stats.Immix_space.marked_lines
+
+let test_immix_write_meta_callback () =
+  let sp = mk_immix () in
+  ignore (Immix_space.alloc sp (obj ~size:600 1));
+  let lines_seen = ref 0 in
+  ignore
+    (Immix_space.sweep sp ~now:0.0 ~write_meta:(fun ~block_index:_ ~lines -> lines_seen := lines) ());
+  (* 600 bytes starting at a line boundary -> 3 lines *)
+  check_int "marked lines reported" 3 !lines_seen
+
+let test_immix_region_lookup () =
+  let sp = mk_immix () in
+  let o = obj ~size:64 1 in
+  ignore (Immix_space.alloc sp o);
+  let base = Immix_space.region_base_of_addr sp o.O.addr in
+  check_bool "addr within region" true (o.O.addr >= base && o.O.addr < base + Layout.mature_region);
+  check_bool "region registered" true (Array.mem base (Immix_space.region_bases sp))
+
+let test_immix_remove_foreign () =
+  let sp = mk_immix () in
+  let o = obj ~size:64 1 in
+  ignore (Immix_space.alloc sp o);
+  o.O.space <- 2;
+  (* simulated move to another space *)
+  Immix_space.remove_foreign sp;
+  check_int "foreign removed" 0 (Kg_util.Vec.length (Immix_space.objects sp))
+
+let test_immix_fragmentation () =
+  let sp = mk_immix () in
+  (* objects spaced so each pins one line of its block, then die in
+     alternation: half-empty recyclable blocks result *)
+  let objs = ref [] in
+  for i = 1 to 512 do
+    let o = obj ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) i in
+    ignore (Immix_space.alloc sp o);
+    objs := o :: !objs
+  done;
+  check_float "no recyclable blocks yet" 0.0 (Immix_space.fragmentation sp);
+  ignore (Immix_space.sweep sp ~now:20.0 ());
+  check_bool "fragmentation appears" true (Immix_space.fragmentation sp >= 0.45)
+
+let test_immix_defrag_candidates () =
+  let sp = mk_immix () in
+  (* one survivor per block: blocks are maximally sparse *)
+  for i = 1 to 16 do
+    ignore (Immix_space.alloc sp (obj ~size:256 i));
+    for j = 1 to 127 do
+      ignore (Immix_space.alloc sp (obj ~size:256 ~death:1.0 (1000 + (i * 128) + j)))
+    done
+  done;
+  ignore (Immix_space.sweep sp ~now:5.0 ());
+  let victims = Immix_space.defrag_candidates sp ~max_bytes:(4 * 256) in
+  check_int "budget-bounded victims" 4 (List.length victims);
+  List.iter (fun (o : O.t) -> check_bool "victims live" true (O.is_live o 5.0)) victims
+
+(* No two live objects may overlap, across arbitrary alloc/sweep
+   interleavings: the load-bearing allocator invariant. *)
+let immix_no_overlap_qcheck =
+  QCheck.Test.make ~name:"immix: live objects never overlap" ~count:30
+    QCheck.(pair (small_list (int_range 16 4096)) (small_list (int_range 16 4096)))
+    (fun (sizes1, sizes2) ->
+      let sp = mk_immix () in
+      let now = ref 0.0 in
+      let alloc_batch sizes =
+        List.iteri
+          (fun i s ->
+            let death = if i mod 3 = 0 then !now +. 1.0 else infinity in
+            ignore
+              (Immix_space.alloc sp
+                 (O.make ~id:i ~size:(Layout.align_object_size s) ~heat:O.Cold ~death
+                    ~ref_fields:1)))
+          sizes
+      in
+      alloc_batch sizes1;
+      now := !now +. 10.0;
+      ignore (Immix_space.sweep sp ~now:!now ());
+      alloc_batch sizes2;
+      let objs =
+        Kg_util.Vec.to_array (Immix_space.objects sp)
+        |> Array.to_list
+        |> List.filter (fun o -> O.is_live o !now)
+      in
+      let sorted = List.sort (fun (a : O.t) b -> compare a.addr b.addr) objs in
+      let rec no_overlap = function
+        | a :: (b : O.t) :: rest -> O.end_addr a <= b.addr && no_overlap (b :: rest)
+        | _ -> true
+      in
+      no_overlap sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Large object space                                                  *)
+
+let test_los_alloc_and_iter () =
+  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
+  let o = obj ~size:(16 * 1024) 1 in
+  check_bool "alloc" true (Los.alloc los o);
+  check_int "count" 1 (Los.object_count los);
+  check_int "live bytes" (16 * 1024) (Los.live_bytes los);
+  let seen = ref 0 in
+  Los.iter los (fun _ -> incr seen);
+  check_int "iter" 1 !seen
+
+let test_los_collect_keep_and_evict () =
+  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
+  let keepme = obj ~size:(16 * 1024) 1 in
+  let evictme = obj ~size:(16 * 1024) 2 in
+  let dead = obj ~size:(16 * 1024) ~death:5.0 3 in
+  List.iter (fun o -> ignore (Los.alloc los o)) [ keepme; evictme; dead ];
+  evictme.O.written <- true;
+  let deaths = ref 0 in
+  let evicted =
+    Los.collect los ~now:10.0 ~keep:(fun o -> not o.O.written) ~on_dead:(fun _ -> incr deaths) ()
+  in
+  check_int "one evicted" 1 (List.length evicted);
+  check_int "evicted is written one" 2 (List.hd evicted).O.id;
+  check_int "one died" 1 !deaths;
+  check_int "one kept" 1 (Los.object_count los)
+
+let test_los_adopt () =
+  let a = Los.create ~id:5 ~name:"a" ~arena:(fresh_arena ()) in
+  let b = Los.create ~id:4 ~name:"b" ~arena:(fresh_arena ~kind:Kg_mem.Device.Dram ()) in
+  let o = obj ~size:(12 * 1024) 1 in
+  ignore (Los.alloc a o);
+  let evicted = Los.collect a ~now:0.0 ~keep:(fun _ -> false) () in
+  List.iter (Los.adopt b) evicted;
+  check_int "moved" 1 (Los.object_count b);
+  check_int "source emptied" 0 (Los.object_count a);
+  check_int "new space id" 4 o.O.space
+
+let test_los_allocation_rate_counter () =
+  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
+  ignore (Los.alloc los (obj ~size:(16 * 1024) 1));
+  ignore (Los.alloc los (obj ~size:(16 * 1024) ~death:0.0 2));
+  ignore (Los.collect los ~now:1.0 ~keep:(fun _ -> true) ());
+  (* cumulative allocation is unaffected by collection *)
+  check_int "total allocated" (32 * 1024) (Los.allocated_bytes_total los)
+
+(* ------------------------------------------------------------------ *)
+(* Free-list mark-sweep space                                          *)
+
+let test_freelist_size_classes () =
+  let cls = Freelist_space.size_classes in
+  check_int "smallest" 16 cls.(0);
+  check_int "largest = small-object limit" Layout.max_small_object cls.(Array.length cls - 1);
+  Array.iteri (fun i c -> if i > 0 then check_bool "ascending" true (c > cls.(i - 1))) cls
+
+let test_freelist_alloc_rounds_up () =
+  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  let o = obj ~size:48 1 in
+  check_bool "alloc" true (Freelist_space.alloc sp o);
+  check_int "live is object size" 48 (Freelist_space.live_bytes sp);
+  check_int "cell is class size" 48 (Freelist_space.cell_bytes sp);
+  let o2 = obj ~size:50 2 in
+  ignore (Freelist_space.alloc sp o2);
+  (* 50 rounds to the 56-byte class *)
+  check_int "rounded cell" (48 + 56) (Freelist_space.cell_bytes sp)
+
+let test_freelist_same_class_adjacent () =
+  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  let a = obj ~size:64 1 and b = obj ~size:64 2 in
+  ignore (Freelist_space.alloc sp a);
+  ignore (Freelist_space.alloc sp b);
+  check_int "consecutive cells" 64 (b.O.addr - a.O.addr)
+
+let test_freelist_sweep_reuses_cells () =
+  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  let doomed = obj ~size:64 ~death:5.0 1 in
+  ignore (Freelist_space.alloc sp doomed);
+  let dead_addr = doomed.O.addr in
+  let reclaimed = Freelist_space.sweep sp ~now:10.0 () in
+  check_int "reclaimed bytes" 64 reclaimed;
+  check_int "population empty" 0 (Kg_util.Vec.length (Freelist_space.objects sp));
+  let fresh = obj ~size:64 2 in
+  ignore (Freelist_space.alloc sp fresh);
+  check_int "cell reused (LIFO)" dead_addr fresh.O.addr
+
+let test_freelist_no_moving () =
+  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  let o = obj ~size:128 1 in
+  ignore (Freelist_space.alloc sp o);
+  let addr = o.O.addr in
+  ignore (Freelist_space.sweep sp ~now:10.0 ());
+  check_int "objects never move" addr o.O.addr
+
+let test_freelist_rejects_large () =
+  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  Alcotest.check_raises "large rejected"
+    (Invalid_argument "Freelist_space.alloc: large object") (fun () ->
+      ignore (Freelist_space.alloc sp (obj ~size:(16 * 1024) 1)))
+
+let freelist_no_overlap_qcheck =
+  QCheck.Test.make ~name:"freelist: live cells never overlap" ~count:30
+    QCheck.(small_list (int_range 16 8192))
+    (fun sizes ->
+      let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+      List.iteri
+        (fun i s ->
+          let death = if i mod 2 = 0 then 5.0 else infinity in
+          ignore
+            (Freelist_space.alloc sp
+               (O.make ~id:i ~size:(Layout.align_object_size s) ~heat:O.Cold ~death
+                  ~ref_fields:1)))
+        sizes;
+      ignore (Freelist_space.sweep sp ~now:10.0 ());
+      List.iteri
+        (fun i s ->
+          ignore
+            (Freelist_space.alloc sp
+               (O.make ~id:(1000 + i) ~size:(Layout.align_object_size s) ~heat:O.Cold
+                  ~death:infinity ~ref_fields:1)))
+        sizes;
+      let objs = Kg_util.Vec.to_array (Freelist_space.objects sp) in
+      let sorted = Array.to_list objs |> List.sort (fun (a : O.t) b -> compare a.addr b.addr) in
+      let rec ok = function
+        | (a : O.t) :: (b : O.t) :: rest -> O.end_addr a <= b.addr && ok (b :: rest)
+        | _ -> true
+      in
+      ok sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Meta space                                                          *)
+
+let test_meta_accounting () =
+  let m = Meta_space.create ~id:6 ~name:"meta" ~arena:(fresh_arena ()) in
+  let a1 = Meta_space.alloc_table m 1000 in
+  let a2 = Meta_space.alloc_table m 1000 in
+  check_bool "distinct" true (a1 <> a2);
+  check_int "usage" 2000 (Meta_space.usage_bytes m);
+  Meta_space.free_table m 1000;
+  check_int "freed" 1000 (Meta_space.usage_bytes m);
+  check_int "high water" 2000 (Meta_space.high_water_bytes m)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kg_heap"
+    [
+      ( "layout+object",
+        [
+          Alcotest.test_case "constants" `Quick test_layout_constants;
+          Alcotest.test_case "alignment" `Quick test_layout_align;
+          Alcotest.test_case "predicates" `Quick test_object_predicates;
+          Alcotest.test_case "liveness" `Quick test_object_liveness;
+          Alcotest.test_case "field addresses" `Quick test_object_field_addr;
+          Alcotest.test_case "size validation" `Quick test_object_size_validation;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reserve" `Quick test_arena_reserve;
+          Alcotest.test_case "exhaustion" `Quick test_arena_exhaustion;
+        ] );
+      ( "bump_space",
+        [
+          Alcotest.test_case "contiguous" `Quick test_bump_contiguous;
+          Alcotest.test_case "full and reset" `Quick test_bump_full_and_reset;
+          Alcotest.test_case "live bytes" `Quick test_bump_live_bytes;
+        ] );
+      ( "immix",
+        [
+          Alcotest.test_case "alloc in blocks" `Quick test_immix_alloc_in_blocks;
+          Alcotest.test_case "no block crossing" `Quick test_immix_objects_never_cross_blocks;
+          Alcotest.test_case "rejects large" `Quick test_immix_rejects_large;
+          Alcotest.test_case "sweep reclaims" `Quick test_immix_sweep_reclaims;
+          Alcotest.test_case "recycles lines" `Quick test_immix_recycles_lines;
+          Alcotest.test_case "sweep classifies blocks" `Quick test_immix_sweep_stats_classify;
+          Alcotest.test_case "write_meta callback" `Quick test_immix_write_meta_callback;
+          Alcotest.test_case "region lookup" `Quick test_immix_region_lookup;
+          Alcotest.test_case "remove foreign" `Quick test_immix_remove_foreign;
+          Alcotest.test_case "fragmentation" `Quick test_immix_fragmentation;
+          Alcotest.test_case "defrag candidates" `Quick test_immix_defrag_candidates;
+          q immix_no_overlap_qcheck;
+        ] );
+      ( "los",
+        [
+          Alcotest.test_case "alloc and iter" `Quick test_los_alloc_and_iter;
+          Alcotest.test_case "collect keep/evict" `Quick test_los_collect_keep_and_evict;
+          Alcotest.test_case "adopt" `Quick test_los_adopt;
+          Alcotest.test_case "allocation counter" `Quick test_los_allocation_rate_counter;
+        ] );
+      ( "freelist",
+        [
+          Alcotest.test_case "size classes" `Quick test_freelist_size_classes;
+          Alcotest.test_case "rounds up" `Quick test_freelist_alloc_rounds_up;
+          Alcotest.test_case "same class adjacent" `Quick test_freelist_same_class_adjacent;
+          Alcotest.test_case "sweep reuses cells" `Quick test_freelist_sweep_reuses_cells;
+          Alcotest.test_case "non-moving" `Quick test_freelist_no_moving;
+          Alcotest.test_case "rejects large" `Quick test_freelist_rejects_large;
+          q freelist_no_overlap_qcheck;
+        ] );
+      ("meta", [ Alcotest.test_case "accounting" `Quick test_meta_accounting ]);
+    ]

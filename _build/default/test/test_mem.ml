@@ -1,0 +1,167 @@
+open Kg_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let gib = Kg_util.Units.gib
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                              *)
+
+let test_device_params () =
+  check_float "dram read" 45.0 Device.dram.Device.read_latency_ns;
+  check_float "pcm read 4x dram" 180.0 Device.pcm.Device.read_latency_ns;
+  check_float "pcm write 450" 450.0 Device.pcm.Device.write_latency_ns;
+  check_float "endurance" 30e6 Device.pcm.Device.endurance;
+  check_bool "dram endurance infinite" true (Device.dram.Device.endurance = infinity)
+
+let test_device_energy () =
+  (* 3 W for 450 ns = 1350 nJ per line write *)
+  check_bool "pcm write energy" true
+    (Float.abs (Device.write_energy_j Device.pcm -. 1.35e-6) < 1e-9);
+  check_bool "pcm write costlier than dram" true
+    (Device.write_energy_j Device.pcm > 10.0 *. Device.write_energy_j Device.dram)
+
+let test_device_endurance_sweep () =
+  let d = Device.pcm_with_endurance 100e6 in
+  check_float "sweep endurance" 100e6 d.Device.endurance;
+  Alcotest.(check string) "kind name" "PCM" (Device.kind_to_string d.Device.kind)
+
+(* ------------------------------------------------------------------ *)
+(* Address map                                                         *)
+
+let test_map_dram_only () =
+  let m = Address_map.dram_only () in
+  check_int "32 GB" (32 * gib) (Address_map.total_size m);
+  check_int "no pcm" 0 (Address_map.pcm_size m);
+  check_bool "kind" true (Address_map.kind_of m 0 = Device.Dram)
+
+let test_map_hybrid_boundaries () =
+  let m = Address_map.hybrid () in
+  check_int "dram base" 0 (Address_map.dram_base m);
+  check_int "pcm base" gib (Address_map.pcm_base m);
+  check_bool "last dram byte" true (Address_map.kind_of m (gib - 1) = Device.Dram);
+  check_bool "first pcm byte" true (Address_map.kind_of m gib = Device.Pcm);
+  check_bool "last pcm byte" true (Address_map.kind_of m ((33 * gib) - 1) = Device.Pcm)
+
+let test_map_unmapped () =
+  let m = Address_map.pcm_only ~size:4096 () in
+  Alcotest.check_raises "unmapped" (Invalid_argument "Address_map.kind_of: address 0x1000 unmapped")
+    (fun () -> ignore (Address_map.kind_of m 4096))
+
+let test_map_missing_region () =
+  let m = Address_map.pcm_only () in
+  Alcotest.check_raises "no dram" (Invalid_argument "Address_map.dram_base: map has no such region")
+    (fun () -> ignore (Address_map.dram_base m))
+
+(* ------------------------------------------------------------------ *)
+(* Wear-leveling                                                       *)
+
+let test_wear_counts () =
+  let w = Wear.create ~size:(1024 * 1024) () in
+  for _ = 1 to 100 do
+    Wear.record_write w 0
+  done;
+  check_int "writes" 100 (Wear.total_writes w);
+  check_int "bytes" (100 * 256) (Wear.bytes_written w)
+
+let test_wear_remapping_moves () =
+  let w = Wear.create ~size:(64 * 1024) ~gap_interval:4 () in
+  let before = Wear.line_of_offset w 0 in
+  for _ = 1 to 8 * 1024 do
+    Wear.record_write w 0
+  done;
+  check_bool "mapping moved" true (Wear.line_of_offset w 0 <> before || Wear.rotations w > 0)
+
+let test_wear_spreads_hot_line () =
+  (* A single hot logical line must wear many physical lines. *)
+  let w = Wear.create ~size:(64 * 1024) ~gap_interval:4 () in
+  let n = 200_000 in
+  for _ = 1 to n do
+    Wear.record_write w 256
+  done;
+  check_bool "max physical line below total" true (Wear.max_line_writes w < n / 8);
+  check_bool "spread across lines" true (Wear.write_distribution_cov w < 1.0)
+
+let test_wear_invalid () =
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Wear.create: size must be a positive multiple of line_size") (fun () ->
+      ignore (Wear.create ~size:100 ()));
+  let w = Wear.create ~size:4096 () in
+  Alcotest.check_raises "offset range" (Invalid_argument "Wear.line_of_offset: offset out of range")
+    (fun () -> ignore (Wear.line_of_offset w 4096))
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime                                                            *)
+
+let test_lifetime_formula () =
+  (* 32 GB at 30M endurance and 7.3 GB/s wears out in ~3.9 years *)
+  let y =
+    Lifetime.years
+      ~size_bytes:(float_of_int (32 * gib))
+      ~endurance:30e6
+      ~write_rate_bytes_per_s:(7.3 *. float_of_int gib)
+  in
+  check_bool "about 4 years" true (Float.abs (y -. 3.92) < 0.05)
+
+let test_lifetime_linear_in_endurance () =
+  let y e = Lifetime.years ~size_bytes:1e9 ~endurance:e ~write_rate_bytes_per_s:1e9 in
+  check_bool "linear" true (Float.abs ((y 100e6 /. y 10e6) -. 10.0) < 1e-6)
+
+let test_lifetime_zero_rate () =
+  check_bool "infinite" true
+    (Lifetime.years ~size_bytes:1e9 ~endurance:1e6 ~write_rate_bytes_per_s:0.0 = infinity)
+
+let test_lifetime_helpers () =
+  check_float "rate" 2.0 (Lifetime.write_rate ~bytes_written:10.0 ~elapsed_s:5.0);
+  check_float "relative" 4.0 (Lifetime.relative ~baseline_rate:8.0 ~rate:2.0)
+
+let wear_uniformity_qcheck =
+  QCheck.Test.make ~name:"wear-leveling spreads any skewed stream" ~count:20
+    QCheck.(small_list small_nat)
+    (fun offsets ->
+      let w = Wear.create ~size:(32 * 1024) ~gap_interval:2 () in
+      let offsets = if offsets = [] then [ 0 ] else offsets in
+      List.iter
+        (fun o ->
+          let off = o * 256 mod (32 * 1024) in
+          for _ = 1 to 2000 do
+            Wear.record_write w off
+          done)
+        offsets;
+      (* no physical line absorbs more than half of all writes *)
+      Wear.max_line_writes w * 2 < Wear.total_writes w)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kg_mem"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "table 2 parameters" `Quick test_device_params;
+          Alcotest.test_case "energy per line" `Quick test_device_energy;
+          Alcotest.test_case "endurance sweep" `Quick test_device_endurance_sweep;
+        ] );
+      ( "address_map",
+        [
+          Alcotest.test_case "dram only" `Quick test_map_dram_only;
+          Alcotest.test_case "hybrid boundaries" `Quick test_map_hybrid_boundaries;
+          Alcotest.test_case "unmapped address" `Quick test_map_unmapped;
+          Alcotest.test_case "missing region" `Quick test_map_missing_region;
+        ] );
+      ( "wear",
+        [
+          Alcotest.test_case "counts" `Quick test_wear_counts;
+          Alcotest.test_case "remapping moves" `Quick test_wear_remapping_moves;
+          Alcotest.test_case "spreads hot line" `Quick test_wear_spreads_hot_line;
+          Alcotest.test_case "invalid input" `Quick test_wear_invalid;
+          q wear_uniformity_qcheck;
+        ] );
+      ( "lifetime",
+        [
+          Alcotest.test_case "equation 1" `Quick test_lifetime_formula;
+          Alcotest.test_case "linear in endurance" `Quick test_lifetime_linear_in_endurance;
+          Alcotest.test_case "zero rate" `Quick test_lifetime_zero_rate;
+          Alcotest.test_case "helpers" `Quick test_lifetime_helpers;
+        ] );
+    ]

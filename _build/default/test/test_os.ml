@@ -1,0 +1,146 @@
+open Kg_os
+module WP = Write_partition
+module H = Kg_cache.Hierarchy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let page = Kg_heap.Layout.page
+let mib = Kg_util.Units.mib
+
+(* A small hybrid machine with a WP engine whose quantum fires after
+   very few accesses, so tests can step the policy deterministically. *)
+let mk ?(quantum = 50) () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:mib ~pcm_size:(16 * mib) () in
+  let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
+  let hier = H.create ~controller:ctrl () in
+  let cfg = { WP.default_config with WP.quantum_accesses = quantum } in
+  let wp = WP.create ~config:cfg ~hier ~virt_size:(8 * mib) () in
+  (wp, WP.mem_iface wp, ctrl, hier)
+
+(* A demand write immediately drained out of the caches, so the memory
+   controller observes one writeback per call (the signal WP ranks
+   pages by). *)
+let write_through mem hier vaddr =
+  mem.Kg_gc.Mem_iface.write ~addr:vaddr ~size:8;
+  H.drain hier
+
+(* Make one page hot enough to reach the promotion queues (rank 4 needs
+   2^4 = 16 observed writes) and spin enough accesses for quanta. *)
+let heat_page mem hier vaddr =
+  for _ = 1 to 40 do
+    write_through mem hier vaddr
+  done;
+  for _ = 1 to 200 do
+    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+  done
+
+let test_wp_fresh_pages_in_pcm () =
+  let _, mem, ctrl, _ = mk () in
+  mem.Kg_gc.Mem_iface.read ~addr:0 ~size:8;
+  mem.Kg_gc.Mem_iface.read ~addr:(4 * mib) ~size:8;
+  check_int "both reads from pcm" 2 (Kg_cache.Controller.reads ctrl Kg_mem.Device.Pcm)
+
+let test_wp_hot_page_promotes () =
+  let wp, mem, _, hier = mk () in
+  heat_page mem hier 0;
+  check_int "page resident in DRAM" 1 (WP.dram_pages wp);
+  check_int "one migration" 1 (WP.migrations_to_dram wp)
+
+let test_wp_cold_pages_stay () =
+  let wp, mem, _, hier = mk () in
+  (* a handful of writes never reaches rank 4 *)
+  for _ = 1 to 5 do
+    write_through mem hier 0
+  done;
+  for _ = 1 to 200 do
+    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+  done;
+  check_int "no promotion" 0 (WP.dram_pages wp)
+
+let test_wp_translation_changes_after_promotion () =
+  let wp, mem, ctrl, hier = mk () in
+  heat_page mem hier 0;
+  check_int "promoted" 1 (WP.dram_pages wp);
+  (* demand traffic on the hot page now lands in DRAM *)
+  let dram_before = Kg_cache.Controller.reads ctrl Kg_mem.Device.Dram in
+  mem.Kg_gc.Mem_iface.read ~addr:128 ~size:8;
+  check_bool "reads hit the DRAM frame" true
+    (Kg_cache.Controller.reads ctrl Kg_mem.Device.Dram > dram_before)
+
+let test_wp_migration_traffic_tagged () =
+  let wp, mem, ctrl, hier = mk () in
+  heat_page mem hier 0;
+  let tags = Kg_cache.Controller.writes_by_tag ctrl Kg_mem.Device.Dram in
+  let mig_tag = Kg_gc.Phase.to_tag Kg_gc.Phase.Migration in
+  check_int "page copy writes tagged as migration" (WP.migrations_to_dram wp * (page / 64))
+    tags.(mig_tag)
+
+let test_wp_demotion_returns_pages () =
+  let wp, mem, _, hier = mk () in
+  heat_page mem hier 0;
+  check_int "promoted first" 1 (WP.migrations_to_dram wp);
+  (* idle traffic elsewhere: ranks decay every 5th quantum until the
+     page falls below the threshold and migrates back *)
+  for _ = 1 to 3000 do
+    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+  done;
+  check_int "demoted back to PCM" 1 (WP.migrations_to_pcm wp);
+  check_int "pcm migration lines counted" (page / 64) (WP.migration_pcm_line_writes wp);
+  check_int "dram empty again" 0 (WP.dram_pages wp)
+
+let test_wp_peak_tracking () =
+  let wp, mem, _, hier = mk () in
+  heat_page mem hier 0;
+  heat_page mem hier (2 * mib);
+  for _ = 1 to 3000 do
+    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+  done;
+  check_int "peak saw both" 2 (WP.peak_dram_pages wp);
+  check_bool "current below peak" true (WP.dram_pages wp < WP.peak_dram_pages wp)
+
+let test_wp_dram_writes_keep_page_hot () =
+  let wp, mem, _, hier = mk () in
+  heat_page mem hier 0;
+  (* keep writing the page while it is in DRAM: demotions decay its
+     rank but continued writes re-promote it, so it must still be in
+     DRAM after moderate idling *)
+  for _ = 1 to 20 do
+    for _ = 1 to 30 do
+      write_through mem hier 0
+    done;
+    for _ = 1 to 60 do
+      mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+    done
+  done;
+  check_int "hot page pinned in DRAM" 1 (WP.dram_pages wp)
+
+let test_wp_default_config () =
+  check_int "8 queues" 8 WP.default_config.WP.queues;
+  check_int "promote rank 4" 4 WP.default_config.WP.promote_rank;
+  check_int "demote every 5 quanta" 5 WP.default_config.WP.demote_period
+
+let test_wp_virt_size_validation () =
+  let map = Kg_mem.Address_map.hybrid ~dram_size:mib ~pcm_size:(2 * mib) () in
+  let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
+  let hier = H.create ~controller:ctrl () in
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Write_partition.create: virtual range exceeds PCM capacity") (fun () ->
+      ignore (WP.create ~hier ~virt_size:(4 * mib) ()))
+
+let () =
+  Alcotest.run "kg_os"
+    [
+      ( "write_partition",
+        [
+          Alcotest.test_case "fresh pages in PCM" `Quick test_wp_fresh_pages_in_pcm;
+          Alcotest.test_case "hot page promotes" `Quick test_wp_hot_page_promotes;
+          Alcotest.test_case "cold pages stay" `Quick test_wp_cold_pages_stay;
+          Alcotest.test_case "translation changes" `Quick test_wp_translation_changes_after_promotion;
+          Alcotest.test_case "migration traffic tagged" `Quick test_wp_migration_traffic_tagged;
+          Alcotest.test_case "demotion returns pages" `Quick test_wp_demotion_returns_pages;
+          Alcotest.test_case "peak tracking" `Quick test_wp_peak_tracking;
+          Alcotest.test_case "dram writes keep page hot" `Quick test_wp_dram_writes_keep_page_hot;
+          Alcotest.test_case "default config" `Quick test_wp_default_config;
+          Alcotest.test_case "virt size validation" `Quick test_wp_virt_size_validation;
+        ] );
+    ]
