@@ -122,6 +122,115 @@ let run_t =
     const run_cmd $ bench_arg $ collector_arg $ simulate_arg $ scale_arg $ heap_scale_arg
     $ cap_arg $ seed_arg $ threshold_arg $ trigger_arg $ observer_arg)
 
+(* ------------------------------------------------------------------ *)
+(* check: audit heap invariants across benchmarks x collectors         *)
+
+let check_cmd benches scale heap_scale cap_mb seed =
+  let benches = if benches = [] then [ "lusearch"; "xalan"; "pmd" ] else benches in
+  let specs = [ ("genimmix", R.pcm_only); ("kg-n", R.kg_n); ("kg-w", R.kg_w) ] in
+  let failures = ref 0 in
+  List.iter
+    (fun bench ->
+      match D.find bench with
+      | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S; try: %s\n" bench (String.concat ", " (D.names ()));
+        incr failures
+      | d ->
+        List.iter
+          (fun (name, spec) ->
+            let r = R.run ~seed ~scale ~heap_scale ~cap_mb ~check:true ~mode:R.Count spec d in
+            let st = r.R.stats in
+            let gcs = st.GS.nursery_gcs + st.GS.observer_gcs + st.GS.major_gcs in
+            match r.R.check_violations with
+            | [] ->
+              Printf.printf "ok   %-10s %-9s %4d collections audited, 0 violations\n" bench
+                name gcs
+            | vs ->
+              incr failures;
+              Printf.printf "FAIL %-10s %-9s %d violation(s) in %d collections:\n" bench name
+                (List.length vs) gcs;
+              List.iter (fun v -> Printf.printf "       %s\n" v) vs)
+          specs)
+    benches;
+  if !failures > 0 then 1 else 0
+
+let benches_arg =
+  let doc = "Benchmarks to audit (default: lusearch xalan pmd)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK" ~doc)
+
+let check_t =
+  Term.(const check_cmd $ benches_arg $ scale_arg $ heap_scale_arg $ cap_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay: record a run, replay its trace, compare bit-for-bit         *)
+
+let replay_cmd bench collector scale heap_scale cap_mb seed trace_file =
+  match spec_of_string collector with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok spec -> (
+    match D.find bench with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try: %s\n" bench (String.concat ", " (D.names ()));
+      1
+    | d ->
+      let r, events = R.record ~seed ~scale ~heap_scale ~cap_mb spec d in
+      let events =
+        match trace_file with
+        | None -> events
+        | Some f ->
+          (* Exercise the serialization too: what we replay is what was
+             parsed back from disk. *)
+          Kg_gc.Trace.save f events;
+          Printf.printf "trace            %s (%d events)\n" f (Array.length events);
+          Kg_gc.Trace.load f
+      in
+      Printf.printf "recorded         %s under %s: %d events, %d MB allocated\n" bench
+        (R.label spec) (Array.length events) (r.R.alloc_bytes / 1048576);
+      (match R.replay ~seed ~heap_scale spec d events with
+      | Error m ->
+        Printf.printf "replay DIVERGED: %s\n" m;
+        1
+      | Ok (st, c) ->
+        let stat_diff = GS.diff r.R.stats st in
+        let ctr_diff = ref [] in
+        let cmp name a b =
+          if int_of_float a <> b then
+            ctr_diff := Printf.sprintf "%s: %d <> %d" name (int_of_float a) b :: !ctr_diff
+        in
+        cmp "pcm_write_bytes" r.R.mem_pcm_write_bytes c.Kg_gc.Mem_iface.pcm_write_bytes;
+        cmp "dram_write_bytes" r.R.mem_dram_write_bytes c.Kg_gc.Mem_iface.dram_write_bytes;
+        cmp "pcm_read_bytes" r.R.mem_pcm_read_bytes c.Kg_gc.Mem_iface.pcm_read_bytes;
+        cmp "dram_read_bytes" r.R.mem_dram_read_bytes c.Kg_gc.Mem_iface.dram_read_bytes;
+        Array.iteri
+          (fun i v ->
+            cmp
+              (Printf.sprintf "pcm_write_bytes[%s]" (Kg_gc.Phase.to_string (Kg_gc.Phase.of_tag i)))
+              v
+              c.Kg_gc.Mem_iface.pcm_write_bytes_by_phase.(i))
+          r.R.pcm_writes_by_phase;
+        let diffs = stat_diff @ List.rev !ctr_diff in
+        if diffs = [] then begin
+          Printf.printf
+            "replay           identical: all statistics and device write counters match\n";
+          0
+        end
+        else begin
+          Printf.printf "replay DIVERGED in %d counter(s):\n" (List.length diffs);
+          List.iter (fun m -> Printf.printf "       %s\n" m) diffs;
+          1
+        end))
+
+let trace_file_arg =
+  let doc = "Also save the trace to this JSONL file and replay the reloaded copy." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let replay_t =
+  Term.(
+    const replay_cmd $ bench_arg $ collector_arg $ scale_arg $ heap_scale_arg $ cap_arg
+    $ seed_arg $ trace_file_arg)
+
 let list_cmd () =
   List.iter
     (fun (d : D.t) ->
@@ -137,6 +246,22 @@ let cmds =
     Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector") run_t
   in
   let list = Cmd.v (Cmd.info "list" ~doc:"List benchmarks") Term.(const list_cmd $ const ()) in
-  Cmd.group (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator") [ run; list ]
+  let check =
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Audit heap invariants after every collection phase, across benchmarks and the \
+            GenImmix/KG-N/KG-W collectors")
+      check_t
+  in
+  let replay =
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Record a run as an event trace, replay it through a fresh runtime, and verify the \
+            statistics and device write counters reproduce bit-for-bit")
+      replay_t
+  in
+  Cmd.group (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator") [ run; list; check; replay ]
 
 let () = exit (Cmd.eval' cmds)

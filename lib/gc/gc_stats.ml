@@ -114,6 +114,69 @@ let reset t =
   Vec.clear t.retired_mature_writes;
   Vec.clear t.collection_log
 
+let diff a b =
+  let out = ref [] in
+  let cmp name va vb =
+    if va <> vb then out := Printf.sprintf "%s: %d <> %d" name va vb :: !out
+  in
+  cmp "app_writes_nursery" a.app_writes_nursery b.app_writes_nursery;
+  cmp "app_writes_observer" a.app_writes_observer b.app_writes_observer;
+  cmp "app_writes_mature" a.app_writes_mature b.app_writes_mature;
+  cmp "app_write_bytes_dram" a.app_write_bytes_dram b.app_write_bytes_dram;
+  cmp "app_write_bytes_pcm" a.app_write_bytes_pcm b.app_write_bytes_pcm;
+  cmp "ref_writes" a.ref_writes b.ref_writes;
+  cmp "prim_writes" a.prim_writes b.prim_writes;
+  cmp "reads" a.reads b.reads;
+  cmp "gen_remset_inserts" a.gen_remset_inserts b.gen_remset_inserts;
+  cmp "obs_remset_inserts" a.obs_remset_inserts b.obs_remset_inserts;
+  cmp "monitor_header_writes" a.monitor_header_writes b.monitor_header_writes;
+  cmp "barrier_fast_paths" a.barrier_fast_paths b.barrier_fast_paths;
+  cmp "nursery_gcs" a.nursery_gcs b.nursery_gcs;
+  cmp "observer_gcs" a.observer_gcs b.observer_gcs;
+  cmp "major_gcs" a.major_gcs b.major_gcs;
+  cmp "copied_bytes_nursery" a.copied_bytes_nursery b.copied_bytes_nursery;
+  cmp "copied_bytes_observer" a.copied_bytes_observer b.copied_bytes_observer;
+  cmp "copied_bytes_major" a.copied_bytes_major b.copied_bytes_major;
+  cmp "remset_slot_updates" a.remset_slot_updates b.remset_slot_updates;
+  cmp "mark_header_writes" a.mark_header_writes b.mark_header_writes;
+  cmp "mark_table_writes" a.mark_table_writes b.mark_table_writes;
+  cmp "scanned_objects" a.scanned_objects b.scanned_objects;
+  cmp "nursery_alloc_bytes" a.nursery_alloc_bytes b.nursery_alloc_bytes;
+  cmp "nursery_survived_bytes" a.nursery_survived_bytes b.nursery_survived_bytes;
+  cmp "observer_in_bytes" a.observer_in_bytes b.observer_in_bytes;
+  cmp "observer_survived_bytes" a.observer_survived_bytes b.observer_survived_bytes;
+  cmp "observer_to_dram_bytes" a.observer_to_dram_bytes b.observer_to_dram_bytes;
+  cmp "observer_to_pcm_bytes" a.observer_to_pcm_bytes b.observer_to_pcm_bytes;
+  cmp "large_allocs" a.large_allocs b.large_allocs;
+  cmp "large_allocs_in_nursery" a.large_allocs_in_nursery b.large_allocs_in_nursery;
+  cmp "mature_moves_to_dram" a.mature_moves_to_dram b.mature_moves_to_dram;
+  cmp "mature_moves_to_pcm" a.mature_moves_to_pcm b.mature_moves_to_pcm;
+  cmp "los_moves_to_dram" a.los_moves_to_dram b.los_moves_to_dram;
+  cmp "retired_mature_writes length" (Vec.length a.retired_mature_writes)
+    (Vec.length b.retired_mature_writes);
+  if Vec.length a.retired_mature_writes = Vec.length b.retired_mature_writes then
+    for i = 0 to Vec.length a.retired_mature_writes - 1 do
+      if Vec.get a.retired_mature_writes i <> Vec.get b.retired_mature_writes i then
+        out :=
+          Printf.sprintf "retired_mature_writes[%d]: %d <> %d" i
+            (Vec.get a.retired_mature_writes i)
+            (Vec.get b.retired_mature_writes i)
+          :: !out
+    done;
+  cmp "collection_log length" (Vec.length a.collection_log) (Vec.length b.collection_log);
+  if Vec.length a.collection_log = Vec.length b.collection_log then
+    for i = 0 to Vec.length a.collection_log - 1 do
+      let pa, ca, sa = Vec.get a.collection_log i and pb, cb, sb = Vec.get b.collection_log i in
+      if pa <> pb || ca <> cb || sa <> sb then
+        out :=
+          Printf.sprintf "collection_log[%d]: (%s, %d, %d) <> (%s, %d, %d)" i (Phase.to_string pa)
+            ca sa (Phase.to_string pb) cb sb
+          :: !out
+    done;
+  List.rev !out
+
+let equal a b = diff a b = []
+
 let log_collection t phase ~copied ~scanned = Vec.push t.collection_log (phase, copied, scanned)
 
 let retire t (o : Kg_heap.Object_model.t) =

@@ -62,6 +62,14 @@ val reset : t -> unit
 (** Zero every counter (e.g. after warmup/boot allocation, so measured
     demographics reflect steady state only). *)
 
+val diff : t -> t -> string list
+(** Field-by-field comparison (including both log vectors), one line
+    per differing counter — the replay-determinism check prints this
+    when a replay fails to reproduce a run. Empty when identical. *)
+
+val equal : t -> t -> bool
+(** [diff a b = []]. *)
+
 val retire : t -> Kg_heap.Object_model.t -> unit
 (** Record a dying object's write count if it reached maturity. *)
 

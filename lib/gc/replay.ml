@@ -1,0 +1,42 @@
+module O = Kg_heap.Object_model
+
+exception Divergence of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Divergence m)) fmt
+
+let step rt objs ev =
+  let find who id =
+    match Hashtbl.find_opt objs id with
+    | Some o -> o
+    | None -> fail "%s refers to unknown object id %d" who id
+  in
+  match (ev : Trace.event) with
+  | Trace.Alloc { id; size; heat; death; ref_fields } ->
+    let o = Runtime.alloc rt ~size ~heat ~death ~ref_fields in
+    if o.O.id <> id then
+      fail "allocation produced object id %d where the trace recorded %d" o.O.id id;
+    Hashtbl.replace objs id o
+  | Trace.Alloc_boot { id; size; heat; ref_fields } ->
+    let o = Runtime.alloc_boot rt ~size ~heat ~ref_fields in
+    if o.O.id <> id then
+      fail "boot allocation produced object id %d where the trace recorded %d" o.O.id id;
+    Hashtbl.replace objs id o
+  | Trace.Write_ref { src; tgt } ->
+    Runtime.write_ref rt ~src:(find "write_ref" src) ~tgt:(find "write_ref" tgt)
+  | Trace.Write_prim { obj } -> Runtime.write_prim rt (find "write_prim" obj)
+  | Trace.Read { obj } -> Runtime.read_obj rt (find "read" obj)
+  | Trace.Read_burst { obj; words } -> Runtime.read_burst rt (find "read_burst" obj) words
+  | Trace.Major_gc -> Runtime.major_gc rt
+  | Trace.Reset_stats -> Gc_stats.reset (Runtime.stats rt)
+  | Trace.Flush_retirement -> Runtime.flush_retirement_stats rt
+
+let run rt events =
+  let objs = Hashtbl.create 4096 in
+  try
+    Array.iteri
+      (fun i ev ->
+        try step rt objs ev
+        with Divergence m -> fail "event %d (%s): %s" i (Trace.to_json ev) m)
+      events;
+    Ok ()
+  with Divergence m -> Error m

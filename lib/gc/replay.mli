@@ -1,0 +1,22 @@
+(** Deterministic trace replay.
+
+    Feeds a recorded {!Trace} back into a fresh runtime. Because the
+    runtime consumes randomness and triggers collections only in
+    response to these calls, a replay against a runtime built with the
+    same configuration, address map, memory interface and seed
+    reproduces the original run bit-identically — same statistics, same
+    device write counters ({!Kg_sim.Run.replay} wires this up and the
+    replay-determinism tests assert it). *)
+
+exception Divergence of string
+
+val step : Runtime.t -> (int, Kg_heap.Object_model.t) Hashtbl.t -> Trace.event -> unit
+(** Apply one event, resolving object ids through (and recording new
+    allocations into) the table. Raises {!Divergence} when an event
+    refers to an id never allocated, or when the runtime assigns an
+    allocation a different id than the trace recorded (a replay under a
+    mismatched configuration). *)
+
+val run : Runtime.t -> Trace.event array -> (unit, string) result
+(** Replay a whole trace; [Error] describes the first divergence with
+    its event index. *)

@@ -44,6 +44,8 @@ type t = {
   mutable loo_enabled : bool;
   mutable recent_survival : float;
   mutable gc_hook : Phase.t -> unit;
+  mutable event_hook : Trace.event -> unit;
+  mutable next_id : int;
   mutable in_major : bool;
   mutable pcm_writes_at_last_major : int;
 }
@@ -58,6 +60,28 @@ let object_in_pcm t (o : O.t) =
   Kg_mem.Address_map.kind_of t.map o.addr = Kg_mem.Device.Pcm
 
 let set_gc_hook t f = t.gc_hook <- f
+
+(* Chain a hook after whatever is installed: the run driver samples
+   heap composition, and the invariant auditor rides along behind it. *)
+let add_gc_hook t f =
+  let g = t.gc_hook in
+  t.gc_hook <- (fun p -> g p; f p)
+
+let set_event_hook t f = t.event_hook <- f
+
+(* ------------------------------------------------------------------ *)
+(* Introspection (for the invariant auditor and tests)                 *)
+
+let address_map t = t.map
+let nursery_space t = t.nursery
+let observer_space t = t.observer
+let mature_pcm_space t = t.mature_pcm
+let mature_dram_space t = t.mature_dram
+let los_pcm_space t = t.los_pcm
+let los_dram_space t = t.los_dram
+let meta_space t = t.meta
+let gen_remset t = t.gen_remset
+let obs_remset t = t.obs_remset
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -171,6 +195,8 @@ let create ~config:cfg ~mem ~map ~seed () =
     loo_enabled = false;
     recent_survival = 0.2;
     gc_hook = (fun _ -> ());
+    event_hook = (fun _ -> ());
+    next_id = 1;
     in_major = false;
     pcm_writes_at_last_major = 0;
   }
@@ -545,7 +571,7 @@ let major_gc_inner t =
   log_pause t Phase.Major_gc work0;
   t.gc_hook Phase.Major_gc
 
-let major_gc t =
+let run_major t =
   if not t.in_major then begin
     t.in_major <- true;
     major_gc_inner t;
@@ -554,15 +580,21 @@ let major_gc t =
     t.pcm_writes_at_last_major <- t.stats.Gc_stats.app_write_bytes_pcm
   end
 
+(* Only externally forced majors are traced: heap- and write-triggered
+   collections re-fire by themselves when a trace is replayed. *)
+let major_gc t =
+  t.event_hook Trace.Major_gc;
+  run_major t
+
 let maybe_major t =
-  if heap_used t > t.cfg.Gc_config.heap_bytes then major_gc t
+  if heap_used t > t.cfg.Gc_config.heap_bytes then run_major t
   else
     (* Extension (§6.2.1 future work): writes accumulating on PCM
        objects can themselves justify a full collection, which rescues
        the written objects into DRAM well before the heap fills. *)
     match t.cfg.Gc_config.pcm_write_trigger_bytes with
     | Some limit when t.stats.Gc_stats.app_write_bytes_pcm - t.pcm_writes_at_last_major > limit ->
-      major_gc t
+      run_major t
     | _ -> ()
 
 (* A young collection outside a major: nursery only for the baselines;
@@ -619,19 +651,25 @@ let rec alloc_small t (o : O.t) =
     t.nursery_alloc_since_gc <- t.nursery_alloc_since_gc + o.size
   end
 
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
 let alloc t ~size ~heat ~death ~ref_fields =
   let size = Layout.align_object_size size in
-  let o = O.make ~id:0 ~size ~heat ~death ~ref_fields in
+  let o = O.make ~id:(fresh_id t) ~size ~heat ~death ~ref_fields in
   if O.is_large o then alloc_large t o else alloc_small t o;
   (* Zeroing plus constructor initialisation: one streaming write pass. *)
   t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
   t.now <- t.now +. float_of_int size;
   maybe_major t;
+  t.event_hook (Trace.Alloc { id = o.id; size = o.size; heat; death; ref_fields });
   o
 
 let alloc_boot t ~size ~heat ~ref_fields =
   let size = Layout.align_object_size size in
-  let o = O.make ~id:0 ~size ~heat ~death:infinity ~ref_fields in
+  let o = O.make ~id:(fresh_id t) ~size ~heat ~death:infinity ~ref_fields in
   if O.is_large o then begin
     if not (Los.alloc t.los_pcm o) then failwith "Runtime: large object space exhausted"
   end
@@ -639,6 +677,7 @@ let alloc_boot t ~size ~heat ~ref_fields =
   o.age <- 1;
   t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
   t.now <- t.now +. float_of_int size;
+  t.event_hook (Trace.Alloc_boot { id = o.id; size = o.size; heat; ref_fields });
   o
 
 let classify_app_write t (o : O.t) slot_addr =
@@ -671,6 +710,7 @@ let monitor_write t (o : O.t) =
   end
 
 let write_ref t ~src ~tgt =
+  t.event_hook (Trace.Write_ref { src = src.O.id; tgt = tgt.O.id });
   let st = t.stats in
   st.Gc_stats.ref_writes <- st.Gc_stats.ref_writes + 1;
   let slot_addr = O.field_addr src (Rng.int t.rng 64) in
@@ -698,6 +738,7 @@ let write_ref t ~src ~tgt =
   t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
 
 let write_prim t (o : O.t) =
+  t.event_hook (Trace.Write_prim { obj = o.id });
   let st = t.stats in
   st.Gc_stats.prim_writes <- st.Gc_stats.prim_writes + 1;
   let slot_addr = O.field_addr o (Rng.int t.rng 64) in
@@ -708,10 +749,12 @@ let write_prim t (o : O.t) =
   t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
 
 let read_obj t (o : O.t) =
+  t.event_hook (Trace.Read { obj = o.id });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + 1;
   t.mem.Mem_iface.read ~addr:(O.field_addr o (Rng.int t.rng 64)) ~size:Layout.word
 
 let read_burst t (o : O.t) n =
+  t.event_hook (Trace.Read_burst { obj = o.id; words = n });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + n;
   let addr = O.field_addr o (Rng.int t.rng 64) in
   let size = min (n * Layout.word) (o.size - (addr - o.addr)) in

@@ -108,6 +108,16 @@ val set_gc_hook : t -> (Phase.t -> unit) -> unit
 (** Invoked at the end of every collection — the Figure 13 heap
     composition traces sample usage from here. *)
 
+val add_gc_hook : t -> (Phase.t -> unit) -> unit
+(** Chain another hook after the installed one (the invariant auditor
+    attaches itself this way without displacing the sampling hook). *)
+
+val set_event_hook : t -> (Trace.event -> unit) -> unit
+(** Observe every mutator-level runtime interaction (allocations with
+    their assigned ids, stores, reads, forced majors) — the recording
+    half of the deterministic trace/replay subsystem. The default hook
+    discards events. *)
+
 val is_young : Kg_heap.Object_model.t -> bool
 (** In the nursery or observer space. *)
 
@@ -124,6 +134,30 @@ val flush_retirement_stats : t -> unit
 val nursery_free : t -> int
 (** Allocation headroom before the next nursery collection (the
     lifetime model clamps short-lived objects against it). *)
+
+(** {2 Introspection}
+
+    Read-only access to the runtime's spaces and metadata structures,
+    used by the {!Verify} auditor and white-box tests. Mutating the
+    returned structures voids every invariant. *)
+
+val sp_nursery : int
+val sp_observer : int
+val sp_mature_dram : int
+val sp_mature_pcm : int
+val sp_los_dram : int
+val sp_los_pcm : int
+
+val address_map : t -> Kg_mem.Address_map.t
+val nursery_space : t -> Kg_heap.Bump_space.t
+val observer_space : t -> Kg_heap.Bump_space.t option
+val mature_pcm_space : t -> Kg_heap.Immix_space.t
+val mature_dram_space : t -> Kg_heap.Immix_space.t option
+val los_pcm_space : t -> Kg_heap.Los.t
+val los_dram_space : t -> Kg_heap.Los.t option
+val meta_space : t -> Kg_heap.Meta_space.t
+val gen_remset : t -> Remset.t
+val obs_remset : t -> Remset.t option
 
 val check_invariants : t -> (unit, string) result
 (** Heavy-weight consistency check for tests and debugging: space

@@ -30,6 +30,7 @@ type t = {
   mutable cursor_limit : int;
   objects : Object_model.t Vec.t;
   mutable live_bytes : int;
+  mutable allocs_since_sweep : int;
 }
 
 let blocks_per_region = Layout.mature_region / Layout.block
@@ -49,6 +50,7 @@ let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) () =
     cursor_limit = 0;
     objects = Vec.create ();
     live_bytes = 0;
+    allocs_since_sweep = 0;
   }
 
 let id t = t.id
@@ -128,6 +130,7 @@ let rec alloc t (o : Object_model.t) =
     o.space <- t.id;
     t.cursor <- t.cursor + o.size;
     t.live_bytes <- t.live_bytes + o.size;
+    t.allocs_since_sweep <- t.allocs_since_sweep + 1;
     Vec.push t.objects o;
     true
   end
@@ -227,6 +230,84 @@ let defrag_candidates t ~max_bytes =
     sparse;
   !picked
 
+(* ------------------------------------------------------------------ *)
+(* Self-audit (heap invariant auditor support)                         *)
+
+let count_marked (b : block) =
+  let c = ref 0 in
+  for i = 0 to Layout.lines_per_block - 1 do
+    if Bytes.get b.line_marks i <> '\000' then incr c
+  done;
+  !c
+
+let lines_of (o : Object_model.t) (b : block) =
+  ((o.addr - b.b_base) / Layout.line, (o.addr + o.size - 1 - b.b_base) / Layout.line)
+
+let audit t =
+  let errs = ref [] in
+  let err fmt =
+    Printf.ksprintf (fun m -> errs := Printf.sprintf "%s: %s" t.name m :: !errs) fmt
+  in
+  (* Population structure: ownership, residence inside a reserved
+     region, block containment (objects may cross lines, not blocks),
+     and occupancy accounting. *)
+  let size_sum = ref 0 in
+  Vec.iter
+    (fun (o : Object_model.t) ->
+      size_sum := !size_sum + o.size;
+      if o.space <> t.id then
+        err "object %d at %#x has space id %d, not %d" o.id o.addr o.space t.id;
+      if o.addr < 0 then err "object %d is unallocated (addr %d)" o.id o.addr
+      else
+        match block_of_addr t o.addr with
+        | exception Invalid_argument _ ->
+          err "object %d at %#x lies outside the space's regions" o.id o.addr
+        | b ->
+          if o.addr + o.size > b.b_base + Layout.block then
+            err "object %d at %#x (%d B) crosses a block boundary" o.id o.addr o.size)
+    t.objects;
+  if !size_sum <> t.live_bytes then
+    err "live_bytes %d disagrees with resident object bytes %d" t.live_bytes !size_sum;
+  (* Block metadata: the cached marked-line count must match the marks. *)
+  Vec.iter
+    (fun (b : block) ->
+      let c = count_marked b in
+      if c <> b.marked_lines then
+        err "block %d caches %d marked lines but %d marks are set" b.b_index b.marked_lines c)
+    t.blocks;
+  (* Immediately after a sweep (no allocation since), line marks must
+     cover exactly the surviving objects, and every fully-unmarked
+     block must be back on the allocation list — a live object on an
+     unmarked line or an unrecycled empty block is a sweep bug. *)
+  if t.allocs_since_sweep = 0 then begin
+    let expected = Array.init (Vec.length t.blocks) (fun _ -> Bytes.make Layout.lines_per_block '\000') in
+    Vec.iter
+      (fun (o : Object_model.t) ->
+        if o.addr >= 0 then
+          match block_of_addr t o.addr with
+          | exception Invalid_argument _ -> ()
+          | b ->
+            let first, last = lines_of o b in
+            for l = first to min last (Layout.lines_per_block - 1) do
+              Bytes.set expected.(b.b_index) l '\001'
+            done)
+      t.objects;
+    Vec.iter
+      (fun (b : block) ->
+        for l = 0 to Layout.lines_per_block - 1 do
+          let want = Bytes.get expected.(b.b_index) l <> '\000' in
+          let got = Bytes.get b.line_marks l <> '\000' in
+          if want && not got then
+            err "block %d line %d holds a live object but is unmarked" b.b_index l
+          else if got && not want then
+            err "block %d line %d is marked but holds no live object" b.b_index l
+        done;
+        if b.marked_lines = 0 && not (List.memq b t.avail) then
+          err "fully-unmarked block %d was not returned to the free list" b.b_index)
+      t.blocks
+  end;
+  List.rev !errs
+
 let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = fun _ -> ()) () =
   let swept_objects = ref 0 and swept_bytes = ref 0 in
   Vec.filter_in_place
@@ -277,6 +358,7 @@ let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = f
   t.cursor <- 0;
   t.cursor_limit <- 0;
   t.scan_line <- 0;
+  t.allocs_since_sweep <- 0;
   {
     swept_objects = !swept_objects;
     swept_bytes = !swept_bytes;

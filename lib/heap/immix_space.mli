@@ -90,3 +90,13 @@ val defrag_candidates : t -> max_bytes:int -> Object_model.t list
     them back via {!alloc}) frees whole blocks, trading copy writes for
     space — exactly the tradeoff §6.3 notes is wrong for PCM, which is
     why the collectors only defragment under memory pressure. *)
+
+val audit : t -> string list
+(** Structural self-check; returns human-readable violations (empty
+    when consistent). Always verified: every resident object carries
+    this space's id, lies inside a reserved region, does not cross a
+    block boundary, and their sizes sum to {!live_bytes}; each block's
+    cached marked-line count matches its mark bytes. Additionally, when
+    no allocation has happened since the last sweep (true at the end of
+    a major collection), line marks must cover exactly the resident
+    objects and every fully-unmarked block must be on the free list. *)

@@ -69,6 +69,7 @@ type result = {
   mature_dram_avg_mb : float;
   meta_mb : float;
   trace : (float * float * float) list;
+  check_violations : string list;
 }
 
 (* The engine simulates one mutator thread; the paper's 4-core rates
@@ -90,17 +91,23 @@ let lifetime_years ?(endurance = 30e6) r =
     ~endurance
     ~write_rate_bytes_per_s:(pcm_write_rate_32core_gbs r *. float_of_int Units.gib)
 
+(* Scale the live target with the (shortened) run so collections of
+   every kind still fire; ratios, not volumes, are what the figures
+   report. *)
+let live_mb_of ~heap_scale bench = max 16 (Descriptor.live_mb bench / max 1 heap_scale)
+
+(* Record and replay must derive the exact same configuration, so both
+   go through here. *)
+let config_of ~heap_scale spec bench =
+  let live_mb = live_mb_of ~heap_scale bench in
+  Gc_config.make ~nursery_mb:spec.nursery_mb ?observer_mb:spec.observer_mb
+    ~write_threshold:spec.write_threshold ?pcm_write_trigger_mb:spec.pcm_write_trigger_mb
+    ~heap_mb:(2 * live_mb) spec.collector
+
 let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = false)
-    ?(threads = 1) ~mode spec bench =
-  (* Scale the live target with the (shortened) run so collections of
-     every kind still fire; ratios, not volumes, are what the figures
-     report. *)
-  let live_mb = max 16 (Descriptor.live_mb bench / max 1 heap_scale) in
-  let cfg =
-    Gc_config.make ~nursery_mb:spec.nursery_mb ?observer_mb:spec.observer_mb
-      ~write_threshold:spec.write_threshold ?pcm_write_trigger_mb:spec.pcm_write_trigger_mb
-      ~heap_mb:(2 * live_mb) spec.collector
-  in
+    ?(threads = 1) ?(check = false) ?recorder ~mode spec bench =
+  let live_mb = live_mb_of ~heap_scale bench in
+  let cfg = config_of ~heap_scale spec bench in
   let counting_counters = ref None in
   (* Assemble memory system, runtime address map, and memory interface. *)
   let machine, wp_engine, runtime_map, mem =
@@ -121,6 +128,7 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
       (None, None, map, iface)
   in
   let rt = Runtime.create ~config:cfg ~mem ~map:runtime_map ~seed () in
+  Option.iter (fun r -> Runtime.set_event_hook rt (Trace.record r)) recorder;
   (* Sample heap composition at every collection. *)
   let dram_acc = Stats.Acc.create () and pcm_acc = Stats.Acc.create () in
   let mature_dram_acc = Stats.Acc.create () in
@@ -132,12 +140,19 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
       Stats.Acc.add pcm_acc p;
       Stats.Acc.add mature_dram_acc (Units.mib_of_bytes (Runtime.usage rt).mature_dram_used);
       if trace then trace_acc := (Runtime.now rt, p, d) :: !trace_acc);
+  (* The auditor chains onto the sampling hook and re-checks the heap
+     at the end of every collection phase. *)
+  let audit_acc =
+    if check then Some (Verify.attach ?counters:!counting_counters rt) else None
+  in
   let mutator = Mutator.create ~live_mb ~threads bench ~rt ~seed:(seed + 1) in
   Mutator.allocate_startup mutator;
   (* Demographics reflect steady state, not boot-image construction. *)
+  Option.iter (fun r -> Trace.record r Trace.Reset_stats) recorder;
   Gc_stats.reset (Runtime.stats rt);
   let alloc_bytes = Mutator.scaled_alloc_bytes bench ~scale ~cap_mb in
   Mutator.run mutator ~alloc_bytes ();
+  Option.iter (fun r -> Trace.record r Trace.Flush_retirement) recorder;
   Runtime.flush_retirement_stats rt;
   Option.iter Machine.drain machine;
   let stats = Runtime.stats rt in
@@ -202,4 +217,26 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
     mature_dram_avg_mb = Stats.Acc.mean mature_dram_acc;
     meta_mb = Units.mib_of_bytes (Runtime.usage rt).meta_used;
     trace = List.rev !trace_acc;
+    check_violations =
+      (match audit_acc with
+      | None -> []
+      | Some acc ->
+        let final =
+          Verify.audit ?counters:!counting_counters ~phase:Phase.Application rt
+        in
+        List.map Verify.to_string (Array.to_list (Vec.to_array acc) @ final));
   }
+
+let record ?seed ?scale ?heap_scale ?cap_mb ?check spec bench =
+  let r = Trace.recorder () in
+  let result = run ?seed ?scale ?heap_scale ?cap_mb ?check ~recorder:r ~mode:Count spec bench in
+  (result, Trace.events r)
+
+let replay ?(seed = 42) ?(heap_scale = 3) spec bench events =
+  let cfg = config_of ~heap_scale spec bench in
+  let map = Machine.map_of spec.system in
+  let mem, counters = Mem_iface.counting ~map in
+  let rt = Runtime.create ~config:cfg ~mem ~map ~seed () in
+  match Replay.run rt events with
+  | Ok () -> Ok (Runtime.stats rt, counters)
+  | Error m -> Error m

@@ -56,6 +56,9 @@ type result = {
   meta_mb : float;
   trace : (float * float * float) list;
       (** (allocation clock, PCM MB, DRAM MB), oldest first, when traced *)
+  check_violations : string list;
+      (** heap-auditor violations, in detection order ([] unless run
+          with [~check:true] — and, hopefully, with it) *)
 }
 
 val pcm_write_rate_4core_gbs : result -> float
@@ -74,6 +77,8 @@ val run :
   ?cap_mb:int ->
   ?trace:bool ->
   ?threads:int ->
+  ?check:bool ->
+  ?recorder:Kg_gc.Trace.recorder ->
   mode:mode ->
   spec ->
   Kg_workload.Descriptor.t ->
@@ -81,4 +86,35 @@ val run :
 (** [scale] divides the benchmark's allocation volume (default 16);
     [heap_scale] divides its live-heap target (default 3, floor 16 MB)
     so that observer and major collections still fire in shortened
-    runs; [cap_mb] bounds the run length (default 256 MB). *)
+    runs; [cap_mb] bounds the run length (default 256 MB).
+
+    [check] (default false) attaches the {!Kg_gc.Verify} heap auditor
+    to every collection phase plus a final end-of-run audit, reporting
+    violations in [check_violations]. [recorder] records every
+    runtime-API event plus the driver's reset/flush markers into a
+    replayable {!Kg_gc.Trace}. *)
+
+val record :
+  ?seed:int ->
+  ?scale:int ->
+  ?heap_scale:int ->
+  ?cap_mb:int ->
+  ?check:bool ->
+  spec ->
+  Kg_workload.Descriptor.t ->
+  result * Kg_gc.Trace.event array
+(** A Count-mode {!run} with a recorder attached: the result plus the
+    trace that reproduces it. *)
+
+val replay :
+  ?seed:int ->
+  ?heap_scale:int ->
+  spec ->
+  Kg_workload.Descriptor.t ->
+  Kg_gc.Trace.event array ->
+  (Kg_gc.Gc_stats.t * Kg_gc.Mem_iface.counters, string) Stdlib.result
+(** Drive a fresh runtime (same derived configuration, address map and
+    seed as a Count-mode {!run} — [seed]/[heap_scale] must match the
+    recording) from a trace. Returns the replayed statistics and device
+    counters, which match the original run bit-for-bit, or [Error] on
+    divergence. *)
