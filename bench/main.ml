@@ -8,7 +8,11 @@
    entry per experiment — timing each regeneration and printing the
    rows the paper reports. By default it runs at a reduced scale so the
    whole harness finishes in a few minutes; pass --full (or set
-   KG_BENCH_FULL=1) for the EXPERIMENTS.md setting. *)
+   KG_BENCH_FULL=1) for the EXPERIMENTS.md setting.
+
+   Part 3 benchmarks the experiment engine itself: regenerating one
+   figure sequentially versus on a --jobs-wide domain pool, both with
+   the store disabled so every sample really recomputes the matrix. *)
 
 open Bechamel
 open Toolkit
@@ -55,6 +59,15 @@ let bench_alloc () =
               ~death:(Kg_gc.Runtime.now rt +. 100_000.0)
               ~ref_fields:2)))
 
+let ols_report results =
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est = match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan in
+      let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+      Printf.printf "  %-40s %10.1f ns/op  (r2=%.3f)\n%!" name est r2)
+    (List.sort compare rows)
+
 let run_micro () =
   print_endline "== primitive microbenchmarks (Bechamel OLS, ns/op) ==";
   let tests =
@@ -65,13 +78,7 @@ let run_micro () =
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  List.iter
-    (fun (name, r) ->
-      let est = match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan in
-      let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
-      Printf.printf "  %-40s %10.1f ns/op  (r2=%.3f)\n%!" name est r2)
-    (List.sort compare rows)
+  ols_report results
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: one bench per table/figure                                  *)
@@ -85,17 +92,61 @@ let run_experiments full =
     (if full then "full" else "reduced");
   let env = E.make_env opts in
   List.iter
-    (fun (id, desc, f) ->
+    (fun (e : E.experiment) ->
       let t0 = Unix.gettimeofday () in
-      let table = f env in
-      Printf.printf "\n-- %s : %s [%.1f s] --\n%s%!" id desc
+      let table = e.E.table env in
+      Printf.printf "\n-- %s : %s [%.1f s] --\n%s%!" e.E.id e.E.doc
         (Unix.gettimeofday () -. t0)
         (Kg_util.Table.render table))
     E.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: engine scaling — sequential vs parallel figure regeneration *)
+
+let engine_figure = "fig2"
+
+let bench_engine_regen ~name ~jobs opts =
+  let module E = Kg_sim.Experiments in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         (* A fresh uncached engine per sample: every iteration resolves
+            the figure's full run matrix from scratch. *)
+         let ex = Kg_engine.Exec.create ~jobs ~cache:false opts in
+         Kg_engine.Exec.prefetch_experiments ex [ engine_figure ];
+         let e = List.find (fun (e : E.experiment) -> e.E.id = engine_figure) E.all in
+         ignore (e.E.table (Kg_engine.Exec.env ex));
+         Kg_engine.Exec.shutdown ex))
+
+let run_engine jobs =
+  let module E = Kg_sim.Experiments in
+  let opts = { E.scale = 64; heap_scale = 5; cap_mb = 32; seed = 42 } in
+  Printf.printf "\n== engine scaling: %s sequential vs %d-domain pool (Bechamel OLS) ==\n%!"
+    engine_figure jobs;
+  let tests =
+    Test.make_grouped ~name:"engine" ~fmt:"%s/%s"
+      [
+        bench_engine_regen ~name:(engine_figure ^ "-seq") ~jobs:1 opts;
+        bench_engine_regen ~name:(Printf.sprintf "%s-jobs%d" engine_figure jobs) ~jobs opts;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 2.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  ols_report results
 
 let () =
   let full =
     Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
   in
+  let jobs =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    match find 0 with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
   run_micro ();
-  run_experiments full
+  run_experiments full;
+  run_engine jobs

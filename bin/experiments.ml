@@ -1,83 +1,12 @@
 (* kingsguard-experiments: regenerate any or all of the paper's tables
-   and figures. *)
+   and figures. Thin wrapper over the shared command in Kg_cli, which
+   also backs `kingsguard experiments'. *)
 
 open Cmdliner
-module E = Kg_sim.Experiments
-
-let run_experiments list_only names quick scale heap_scale cap_mb seed csv out_dir =
-  if list_only then begin
-    List.iter (fun (id, desc, _) -> Printf.printf "%-18s %s\n" id desc) E.all;
-    exit 0
-  end;
-  let base = if quick then E.quick_opts else E.default_opts in
-  let opts =
-    {
-      E.scale = Option.value scale ~default:base.E.scale;
-      heap_scale = Option.value heap_scale ~default:base.E.heap_scale;
-      cap_mb = Option.value cap_mb ~default:base.E.cap_mb;
-      seed;
-    }
-  in
-  let env = E.make_env opts in
-  let selected =
-    match names with
-    | [] -> E.all
-    | names ->
-      List.filter_map
-        (fun n ->
-          match List.find_opt (fun (id, _, _) -> id = n) E.all with
-          | Some e -> Some e
-          | None ->
-            Printf.eprintf "unknown experiment %S (known: %s)\n" n
-              (String.concat ", " (List.map (fun (id, _, _) -> id) E.all));
-            exit 1)
-        names
-  in
-  Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) out_dir;
-  List.iter
-    (fun (id, desc, f) ->
-      Printf.printf "== %s — %s ==\n%!" id desc;
-      let t0 = Unix.gettimeofday () in
-      let table = f env in
-      let rendered = if csv then Kg_util.Table.to_csv table else Kg_util.Table.render table in
-      print_string rendered;
-      Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0);
-      Option.iter
-        (fun d ->
-          let oc = open_out (Filename.concat d (id ^ if csv then ".csv" else ".txt")) in
-          output_string oc rendered;
-          close_out oc)
-        out_dir)
-    selected;
-  0
-
-let names_arg =
-  let doc = "Experiments to run (default: all). Ids: tab1-tab4, fig1, fig2, fig5-fig13." in
-  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
-
-let list_arg =
-  let doc = "List experiment ids and exit." in
-  Arg.(value & flag & info [ "list" ] ~doc)
-
-let quick_arg =
-  let doc = "Use small quick-run parameters (for smoke testing)." in
-  Arg.(value & flag & info [ "quick" ] ~doc)
-
-let scale_arg = Arg.(value & opt (some int) None & info [ "scale" ] ~doc:"Allocation scale divisor.")
-let heap_arg = Arg.(value & opt (some int) None & info [ "heap-scale" ] ~doc:"Live-heap scale divisor.")
-let cap_arg = Arg.(value & opt (some int) None & info [ "cap-mb" ] ~doc:"Run length cap (MB).")
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
-let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
-
-let out_arg =
-  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Also write each table to DIR.")
 
 let cmd =
-  let term =
-    Term.(
-      const run_experiments $ list_arg $ names_arg $ quick_arg $ scale_arg $ heap_arg $ cap_arg
-      $ seed_arg $ csv_arg $ out_arg)
-  in
-  Cmd.v (Cmd.info "kingsguard-experiments" ~doc:"Regenerate the paper's tables and figures") term
+  Cmd.v
+    (Cmd.info "kingsguard-experiments" ~doc:Kg_cli.Experiments_cmd.doc)
+    Kg_cli.Experiments_cmd.term
 
 let () = exit (Cmd.eval' cmd)

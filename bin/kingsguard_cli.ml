@@ -125,41 +125,61 @@ let run_t =
 (* ------------------------------------------------------------------ *)
 (* check: audit heap invariants across benchmarks x collectors         *)
 
-let check_cmd benches scale heap_scale cap_mb seed =
+let check_cmd benches scale heap_scale cap_mb seed jobs =
   let benches = if benches = [] then [ "lusearch"; "xalan"; "pmd" ] else benches in
   let specs = [ ("genimmix", R.pcm_only); ("kg-n", R.kg_n); ("kg-w", R.kg_w) ] in
   let failures = ref 0 in
+  let matrix =
+    List.concat_map
+      (fun bench ->
+        match D.find bench with
+        | exception Not_found ->
+          Printf.eprintf "unknown benchmark %S; try: %s\n" bench
+            (String.concat ", " (D.names ()));
+          incr failures;
+          []
+        | d -> List.map (fun (name, spec) -> (bench, d, name, spec)) specs)
+      benches
+  in
+  (* Resolve the audit matrix on the pool; await in submission order so
+     the report reads the same at any --jobs width. *)
+  let pool = Kg_engine.Pool.create ~seed ~jobs () in
+  let futures =
+    List.map
+      (fun (bench, d, name, spec) ->
+        ( bench,
+          name,
+          Kg_engine.Pool.submit pool (fun ~seed:_ ->
+              R.run ~seed ~scale ~heap_scale ~cap_mb ~check:true ~mode:R.Count spec d) ))
+      matrix
+  in
   List.iter
-    (fun bench ->
-      match D.find bench with
-      | exception Not_found ->
-        Printf.eprintf "unknown benchmark %S; try: %s\n" bench (String.concat ", " (D.names ()));
-        incr failures
-      | d ->
-        List.iter
-          (fun (name, spec) ->
-            let r = R.run ~seed ~scale ~heap_scale ~cap_mb ~check:true ~mode:R.Count spec d in
-            let st = r.R.stats in
-            let gcs = st.GS.nursery_gcs + st.GS.observer_gcs + st.GS.major_gcs in
-            match r.R.check_violations with
-            | [] ->
-              Printf.printf "ok   %-10s %-9s %4d collections audited, 0 violations\n" bench
-                name gcs
-            | vs ->
-              incr failures;
-              Printf.printf "FAIL %-10s %-9s %d violation(s) in %d collections:\n" bench name
-                (List.length vs) gcs;
-              List.iter (fun v -> Printf.printf "       %s\n" v) vs)
-          specs)
-    benches;
+    (fun (bench, name, fut) ->
+      let r = Kg_engine.Pool.await fut in
+      let st = r.R.stats in
+      let gcs = st.GS.nursery_gcs + st.GS.observer_gcs + st.GS.major_gcs in
+      match r.R.check_violations with
+      | [] ->
+        Printf.printf "ok   %-10s %-9s %4d collections audited, 0 violations\n" bench name gcs
+      | vs ->
+        incr failures;
+        Printf.printf "FAIL %-10s %-9s %d violation(s) in %d collections:\n" bench name
+          (List.length vs) gcs;
+        List.iter (fun v -> Printf.printf "       %s\n" v) vs)
+    futures;
+  Kg_engine.Pool.shutdown pool;
   if !failures > 0 then 1 else 0
 
 let benches_arg =
   let doc = "Benchmarks to audit (default: lusearch xalan pmd)." in
   Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK" ~doc)
 
+let jobs_arg =
+  let doc = "Audit on this many worker domains." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let check_t =
-  Term.(const check_cmd $ benches_arg $ scale_arg $ heap_scale_arg $ cap_arg $ seed_arg)
+  Term.(const check_cmd $ benches_arg $ scale_arg $ heap_scale_arg $ cap_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: record a run, replay its trace, compare bit-for-bit         *)
@@ -262,6 +282,11 @@ let cmds =
             statistics and device write counters reproduce bit-for-bit")
       replay_t
   in
-  Cmd.group (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator") [ run; list; check; replay ]
+  let experiments =
+    Cmd.v (Cmd.info "experiments" ~doc:Kg_cli.Experiments_cmd.doc) Kg_cli.Experiments_cmd.term
+  in
+  Cmd.group
+    (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator")
+    [ run; list; check; replay; experiments ]
 
 let () = exit (Cmd.eval' cmds)

@@ -14,7 +14,9 @@
     - {!Os}: page-granularity OS write partitioning (the WP baseline).
     - {!Workload}: DaCapo/pjbb/GraphChi-calibrated synthetic mutators.
     - {!Sim}: machine assembly, time/energy models, experiment runners
-      reproducing every table and figure of the paper. *)
+      reproducing every table and figure of the paper.
+    - {!Engine}: the parallel experiment engine — domain worker pool,
+      persistent content-addressed result store, progress reporting. *)
 
 module Util = Kg_util
 module Mem = Kg_mem
@@ -24,3 +26,4 @@ module Gc = Kg_gc
 module Os = Kg_os
 module Workload = Kg_workload
 module Sim = Kg_sim
+module Engine = Kg_engine

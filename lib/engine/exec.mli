@@ -1,0 +1,64 @@
+(** The experiment engine: {!Pool} + {!Store} + {!Progress} behind an
+    {!Kg_sim.Experiments.env}.
+
+    Resolution order for a run: in-process memo table, then the
+    persistent store, then {!Kg_sim.Experiments.run_job}. Computed
+    results are published to the store, so any later process is
+    incremental over this one.
+
+    Parallelism comes from {!prefetch}: the declared run matrix of the
+    selected experiments is deduplicated by cache key and every miss is
+    scheduled onto the pool; the table renderers then find every cell
+    already memoised. A run's value depends only on its key — each job
+    builds its own runtime, heap, caches, RNG and statistics from the
+    options' seed ({!Kg_sim.Run.run} shares no mutable state between
+    calls) — so a pool of any width, with or without a warm store,
+    produces field-for-field identical results and byte-identical
+    tables. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?cache_dir:string ->
+  ?progress:Progress.t ->
+  Kg_sim.Experiments.opts ->
+  t
+(** [jobs] (default 1) sizes the domain pool; [cache] (default true)
+    enables the persistent store in [cache_dir] (default
+    {!Store.default_dir}); [progress] defaults to a quiet reporter. *)
+
+val env : t -> Kg_sim.Experiments.env
+(** The environment to hand to table renderers; its fetch resolves
+    through this engine. *)
+
+val opts : t -> Kg_sim.Experiments.opts
+val pool : t -> Pool.t
+val store : t -> Store.t option
+
+val fetch : t -> Kg_sim.Experiments.job -> Kg_sim.Run.result
+(** Resolve one run in the calling domain (memo, store, compute). *)
+
+val prefetch : t -> Kg_sim.Experiments.job list -> unit
+(** Deduplicate by key, drop what the memo already holds, resolve the
+    rest on the pool, and wait. The first failing job cancels the rest
+    and re-raises here. *)
+
+val prefetch_experiments : t -> string list -> unit
+(** {!prefetch} the declared run matrix of the named experiments
+    (unknown ids are ignored — the renderer will reject them with a
+    proper error). *)
+
+val hits : t -> int
+(** Runs served from the persistent store so far. *)
+
+val misses : t -> int
+(** Runs computed so far. *)
+
+val summary : t -> string
+(** One line: run counts, hit/miss split, pool width, wall clock and
+    throughput. The CI smoke job parses this. *)
+
+val shutdown : t -> unit
+(** Drain and join the pool (results already published remain valid). *)

@@ -1,0 +1,30 @@
+(** Pluggable, domain-safe progress reporting for the engine.
+
+    Pool workers report every resolved run here; the reporter keeps
+    store hit/miss counters and, depending on the mode, narrates:
+
+    - [Quiet]: counters only, no output (the default — table output
+      must stay byte-identical across runs, so narration never goes to
+      stdout anyway; all modes write to [out], default stderr).
+    - [Log]: one line per resolved run with its timing and whether it
+      came from the store.
+    - [Tty]: a single carriage-return-updated status line. *)
+
+type mode = Quiet | Log | Tty
+
+val mode_of_string : string -> (mode, string) result
+val mode_names : string
+
+type t
+
+val create : ?out:out_channel -> mode -> t
+val job_done : t -> label:string -> hit:bool -> elapsed_s:float -> unit
+
+val hits : t -> int
+(** Runs served from the persistent store. *)
+
+val misses : t -> int
+(** Runs that had to be computed. *)
+
+val finish : t -> unit
+(** Terminate a [Tty] status line (no-op otherwise). *)

@@ -6,30 +6,60 @@ type opts = { scale : int; heap_scale : int; cap_mb : int; seed : int }
 let default_opts = { scale = 8; heap_scale = 3; cap_mb = 256; seed = 42 }
 let quick_opts = { scale = 64; heap_scale = 8; cap_mb = 24; seed = 42 }
 
-type env = { o : opts; cache : (string, Run.result) Hashtbl.t }
+type job = {
+  mode : Run.mode;
+  spec : Run.spec;
+  bench : Descriptor.t;
+  trace : bool;
+  threads : int;
+  cap_mb : int option;
+}
 
-let make_env o = { o; cache = Hashtbl.create 64 }
+let job ?(trace = false) ?(threads = 1) ?cap_mb mode spec bench =
+  { mode; spec; bench; trace; threads; cap_mb }
+
+let job_key o j =
+  let s = j.spec in
+  let opt = function None -> "-" | Some m -> string_of_int m in
+  Printf.sprintf
+    "mode=%s;sys=%s;col=%s;nur=%d;wp=%b;obs=%s;thr=%d;trig=%s;bench=%s;trace=%b;threads=%d;scale=%d;heap=%d;cap=%d;seed=%d"
+    (match j.mode with Run.Simulate -> "sim" | Run.Count -> "cnt")
+    (Machine.system_name s.Run.system)
+    (match s.Run.collector with
+    | Kg_gc.Gc_config.Gen_immix -> "genimmix"
+    | Kg_gc.Gc_config.Kg_nursery -> "kgn"
+    | Kg_gc.Gc_config.Kg_writers { loo; mdo; pm } ->
+      Printf.sprintf "kgw:%b:%b:%b" loo mdo pm)
+    s.Run.nursery_mb s.Run.wp (opt s.Run.observer_mb) s.Run.write_threshold
+    (opt s.Run.pcm_write_trigger_mb) j.bench.Descriptor.name j.trace j.threads o.scale
+    o.heap_scale
+    (Option.value j.cap_mb ~default:o.cap_mb)
+    o.seed
+
+let run_job o j =
+  Run.run ~seed:o.seed ~scale:o.scale ~heap_scale:o.heap_scale
+    ~cap_mb:(Option.value j.cap_mb ~default:o.cap_mb)
+    ~trace:j.trace ~threads:j.threads ~mode:j.mode j.spec j.bench
+
+type env = { o : opts; resolve : job -> Run.result }
+
+let make_env_with ~fetch o = { o; resolve = fetch }
+
+let make_env o =
+  let cache = Hashtbl.create 64 in
+  make_env_with o ~fetch:(fun j ->
+      let key = job_key o j in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let r = run_job o j in
+        Hashtbl.replace cache key r;
+        r)
+
 let opts env = env.o
 
-let fetch env mode spec bench =
-  let key =
-    Printf.sprintf "%s/%s/%d/%d/%d/%d/%s"
-      (match mode with Run.Simulate -> "sim" | Run.Count -> "cnt")
-      (Run.label spec) spec.Run.nursery_mb
-      (Option.value spec.Run.observer_mb ~default:0)
-      spec.Run.write_threshold
-      (Option.value spec.Run.pcm_write_trigger_mb ~default:0)
-      bench.Descriptor.name
-  in
-  match Hashtbl.find_opt env.cache key with
-  | Some r -> r
-  | None ->
-    let r =
-      Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
-        ~cap_mb:env.o.cap_mb ~mode spec bench
-    in
-    Hashtbl.replace env.cache key r;
-    r
+let fetch env ?trace ?threads ?cap_mb mode spec bench =
+  env.resolve (job ?trace ?threads ?cap_mb mode spec bench)
 
 let cap s = String.capitalize_ascii s
 let mean = Stats.mean
@@ -317,10 +347,7 @@ let fig13 env =
   List.iter
     (fun name ->
       let b = Descriptor.find name in
-      let r =
-        Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
-          ~cap_mb:env.o.cap_mb ~trace:true ~mode:Run.Count Run.kg_w b
-      in
+      let r = fetch env ~trace:true Run.Count Run.kg_w b in
       let trace = Array.of_list r.Run.trace in
       let n = Array.length trace in
       let samples = min 16 n in
@@ -634,8 +661,7 @@ let ext_threads env =
     (fun name ->
       let b = Descriptor.find name in
       let run threads =
-        Run.run ~seed:env.o.seed ~scale:env.o.scale ~heap_scale:env.o.heap_scale
-          ~cap_mb:(min env.o.cap_mb 64) ~threads ~mode:Run.Simulate Run.pcm_only b
+        fetch env ~threads ~cap_mb:(min env.o.cap_mb 64) Run.Simulate Run.pcm_only b
       in
       let r1 = run 1 and r4 = run 4 in
       let rate (r : Run.result) =
@@ -677,32 +703,200 @@ let ext_nursery_size env =
     [ "lusearch"; "pjbb"; "bloat"; "eclipse" ];
   t
 
+(* ------------------------------------------------------------------ *)
+(* Registry: each experiment declares the run matrix it will fetch so
+   an engine can resolve it (in parallel, against a persistent store)
+   before the sequential table renderer asks for any cell. *)
+
+type experiment = {
+  id : string;
+  doc : string;
+  runs : opts -> job list;
+  table : env -> Kg_util.Table.t;
+}
+
+let sim_jobs specs = List.concat_map (fun s -> List.map (job Run.Simulate s) Descriptor.simulated) specs
+let cnt_jobs specs benches = List.concat_map (fun s -> List.map (job Run.Count s) benches) specs
+let ext_descriptors () = List.map Descriptor.find ext_benchmarks
+let static _ = []
+
 let all =
   [
-    ("tab1", "Table 1: collector configurations", tab1);
-    ("tab2", "Table 2: simulated system parameters", tab2);
-    ("tab3", "Table 3: write-rate scaling to 32 cores", tab3);
-    ("tab4", "Table 4: object demographics and space usage", tab4);
-    ("fig1", "Figure 1: absolute PCM lifetimes vs endurance", fig1);
-    ("fig2", "Figure 2: where writes go (nursery/mature, top-N%)", fig2);
-    ("fig5", "Figure 5: PCM lifetime relative to PCM-only", fig5);
-    ("fig6", "Figure 6: PCM writes relative to PCM-only (+ablations)", fig6);
-    ("fig7", "Figure 7: Kingsguard vs OS write partitioning", fig7);
-    ("fig8", "Figure 8: energy-delay product relative to DRAM-only", fig8);
-    ("fig9", "Figure 9: KG-W overhead breakdown over DRAM-only", fig9);
-    ("fig10", "Figure 10: origin of PCM writes by GC phase", fig10);
-    ("fig11", "Figure 11: barrier-level PCM writes relative to KG-N", fig11);
-    ("fig12", "Figure 12: execution time relative to KG-N", fig12);
-    ("fig13", "Figure 13: heap composition over time (PR, eclipse)", fig13);
-    ("ext-threshold", "Extension: write-count threshold placement (4.2.2 future work)", ext_threshold);
-    ("ext-write-trigger", "Extension: PCM-write-triggered major GCs (6.2.1 future work)", ext_write_trigger);
-    ("ext-observer-size", "Extension: observer space sizing sweep (5.1)", ext_observer_size);
-    ("ext-pauses", "Extension: pause ordering nursery < observer < major (4.2.1)", ext_pauses);
-    ("ext-allocator", "Extension: Immix vs free-list locality and fragmentation (3)", ext_allocator);
-    ("ext-threads", "Extension: write-rate scaling with mutator threads (Table 3)", ext_threads);
-    ("ext-nursery-size", "Extension: KG-N nursery size sweep (6.2.1)", ext_nursery_size);
+    { id = "tab1"; doc = "Table 1: collector configurations"; runs = static; table = tab1 };
+    { id = "tab2"; doc = "Table 2: simulated system parameters"; runs = static; table = tab2 };
+    {
+      id = "tab3";
+      doc = "Table 3: write-rate scaling to 32 cores";
+      runs = (fun _ -> sim_jobs [ Run.pcm_only ]);
+      table = tab3;
+    };
+    {
+      id = "tab4";
+      doc = "Table 4: object demographics and space usage";
+      runs = (fun _ -> cnt_jobs [ Run.kg_n; Run.kg_w ] Descriptor.all @ sim_jobs [ Run.wp ]);
+      table = tab4;
+    };
+    {
+      id = "fig1";
+      doc = "Figure 1: absolute PCM lifetimes vs endurance";
+      runs = (fun _ -> sim_jobs [ Run.pcm_only; Run.kg_n; Run.kg_w ]);
+      table = fig1;
+    };
+    {
+      id = "fig2";
+      doc = "Figure 2: where writes go (nursery/mature, top-N%)";
+      runs = (fun _ -> cnt_jobs [ Run.dram_only ] Descriptor.all);
+      table = fig2;
+    };
+    {
+      id = "fig5";
+      doc = "Figure 5: PCM lifetime relative to PCM-only";
+      runs = (fun _ -> sim_jobs [ Run.pcm_only; Run.kg_n; Run.kg_w ]);
+      table = fig5;
+    };
+    {
+      id = "fig6";
+      doc = "Figure 6: PCM writes relative to PCM-only (+ablations)";
+      runs =
+        (fun _ ->
+          sim_jobs [ Run.pcm_only; Run.kg_n; Run.kg_w; Run.kg_w_no_loo; Run.kg_w_no_loo_mdo ]);
+      table = fig6;
+    };
+    {
+      id = "fig7";
+      doc = "Figure 7: Kingsguard vs OS write partitioning";
+      runs = (fun _ -> sim_jobs [ Run.pcm_only; Run.kg_n; Run.kg_w; Run.wp ]);
+      table = fig7;
+    };
+    {
+      id = "fig8";
+      doc = "Figure 8: energy-delay product relative to DRAM-only";
+      runs = (fun _ -> sim_jobs [ Run.dram_only; Run.pcm_only; Run.kg_n; Run.kg_w ]);
+      table = fig8;
+    };
+    {
+      id = "fig9";
+      doc = "Figure 9: KG-W overhead breakdown over DRAM-only";
+      runs = (fun _ -> sim_jobs [ Run.dram_only; Run.kg_w ]);
+      table = fig9;
+    };
+    {
+      id = "fig10";
+      doc = "Figure 10: origin of PCM writes by GC phase";
+      runs = (fun _ -> sim_jobs [ Run.kg_n; Run.kg_w ]);
+      table = fig10;
+    };
+    {
+      id = "fig11";
+      doc = "Figure 11: barrier-level PCM writes relative to KG-N";
+      runs = (fun _ -> cnt_jobs [ Run.kg_n; Run.kg_n_12; Run.kg_w; Run.kg_w_no_pm ] Descriptor.all);
+      table = fig11;
+    };
+    {
+      id = "fig12";
+      doc = "Figure 12: execution time relative to KG-N";
+      runs =
+        (fun _ ->
+          cnt_jobs
+            [ Run.kg_n; Run.kg_w; Run.kg_w_no_loo; Run.kg_w_no_loo_mdo; Run.kg_w_no_pm ]
+            Descriptor.all);
+      table = fig12;
+    };
+    {
+      id = "fig13";
+      doc = "Figure 13: heap composition over time (PR, eclipse)";
+      runs =
+        (fun _ ->
+          List.map
+            (fun n -> job ~trace:true Run.Count Run.kg_w (Descriptor.find n))
+            [ "pr"; "eclipse" ]);
+      table = fig13;
+    };
+    {
+      id = "ext-threshold";
+      doc = "Extension: write-count threshold placement (4.2.2 future work)";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun b ->
+              List.map
+                (fun k -> job Run.Count { Run.kg_w with Run.write_threshold = k } b)
+                [ 1; 2; 4 ])
+            (ext_descriptors ()));
+      table = ext_threshold;
+    };
+    {
+      id = "ext-write-trigger";
+      doc = "Extension: PCM-write-triggered major GCs (6.2.1 future work)";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun b ->
+              List.map
+                (fun trig -> job Run.Count { Run.kg_w with Run.pcm_write_trigger_mb = trig } b)
+                [ None; Some 4; Some 1 ])
+            (ext_descriptors ()));
+      table = ext_write_trigger;
+    };
+    {
+      id = "ext-observer-size";
+      doc = "Extension: observer space sizing sweep (5.1)";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun b ->
+              List.map
+                (fun mb -> job Run.Count { Run.kg_w with Run.observer_mb = Some mb } b)
+                [ 4; 8; 16 ])
+            (ext_descriptors ()));
+      table = ext_observer_size;
+    };
+    {
+      id = "ext-pauses";
+      doc = "Extension: pause ordering nursery < observer < major (4.2.1)";
+      runs =
+        (fun _ ->
+          List.map
+            (fun n -> job Run.Count Run.kg_w (Descriptor.find n))
+            [ "hsqldb"; "pjbb"; "pr"; "cc"; "xalan" ]);
+      table = ext_pauses;
+    };
+    {
+      id = "ext-allocator";
+      doc = "Extension: Immix vs free-list locality and fragmentation (3)";
+      runs = static;
+      table = ext_allocator;
+    };
+    {
+      id = "ext-threads";
+      doc = "Extension: write-rate scaling with mutator threads (Table 3)";
+      runs =
+        (fun o ->
+          List.concat_map
+            (fun n ->
+              List.map
+                (fun threads ->
+                  job ~threads ~cap_mb:(min o.cap_mb 64) Run.Simulate Run.pcm_only
+                    (Descriptor.find n))
+                [ 1; 4 ])
+            [ "xalan"; "antlr"; "bloat" ]);
+      table = ext_threads;
+    };
+    {
+      id = "ext-nursery-size";
+      doc = "Extension: KG-N nursery size sweep (6.2.1)";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun n ->
+              List.map
+                (fun mb -> job Run.Count { Run.kg_n with Run.nursery_mb = mb } (Descriptor.find n))
+                [ 4; 12; 32 ])
+            [ "lusearch"; "pjbb"; "bloat"; "eclipse" ]);
+      table = ext_nursery_size;
+    };
   ]
 
 let run_by_name env name =
-  let _, _, f = List.find (fun (n, _, _) -> n = name) all in
-  f env
+  let e = List.find (fun e -> e.id = name) all in
+  e.table env

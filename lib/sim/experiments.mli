@@ -4,7 +4,15 @@
     published figure so measured-vs-paper comparison is mechanical.
     Results are memoised per environment: figures share underlying
     (benchmark x system x collector) runs, so regenerating the full set
-    costs one pass over the run matrix. *)
+    costs one pass over the run matrix.
+
+    An environment is parameterised by its fetch function, so the run
+    matrix can be resolved by the default in-process memo table or by
+    an external engine (see {!Kg_engine.Exec}) that schedules misses
+    onto a domain pool and persists results on disk. Each experiment
+    additionally declares the jobs it will fetch ([runs]), which is
+    what lets an engine resolve a whole figure's matrix in parallel
+    before the (sequential) table renderer asks for any of it. *)
 
 type opts = {
   scale : int;  (** divide each benchmark's allocation volume *)
@@ -20,101 +28,77 @@ val default_opts : opts
 val quick_opts : opts
 (** Small runs for tests and benchmarking harness smoke passes. *)
 
+type job = {
+  mode : Run.mode;
+  spec : Run.spec;
+  bench : Kg_workload.Descriptor.t;
+  trace : bool;  (** sample heap composition (Figure 13) *)
+  threads : int;  (** logical mutator threads (Table 3 extension) *)
+  cap_mb : int option;  (** per-job override of [opts.cap_mb] *)
+}
+(** One cell of the run matrix: everything that determines a
+    {!Run.result} besides the environment options. *)
+
+val job :
+  ?trace:bool ->
+  ?threads:int ->
+  ?cap_mb:int ->
+  Run.mode ->
+  Run.spec ->
+  Kg_workload.Descriptor.t ->
+  job
+
+val job_key : opts -> job -> string
+(** Canonical textual identity of a job under the given options: every
+    spec field, the benchmark name, the mode, the trace/threads/cap
+    extras, and every option (including the seed). Two jobs with equal
+    keys produce field-for-field identical results; the engine's
+    persistent store hashes this string (plus its format version) to
+    name cache entries. *)
+
+val run_job : opts -> job -> Run.result
+(** Execute the job with {!Run.run}. The single place where an
+    environment's options are turned into [Run.run] arguments, so the
+    sequential memo, the parallel pool, and the persistent store all
+    compute exactly the same thing for a given key. *)
+
 type env
 
 val make_env : opts -> env
+(** Sequential environment: an in-process memo table over {!run_job}. *)
+
+val make_env_with : fetch:(job -> Run.result) -> opts -> env
+(** Environment with an external resolver (memoisation, scheduling and
+    persistence are the resolver's business). *)
+
 val opts : env -> opts
 
-val fetch : env -> Run.mode -> Run.spec -> Kg_workload.Descriptor.t -> Run.result
+val fetch :
+  env ->
+  ?trace:bool ->
+  ?threads:int ->
+  ?cap_mb:int ->
+  Run.mode ->
+  Run.spec ->
+  Kg_workload.Descriptor.t ->
+  Run.result
 (** Memoised access to the underlying runs (exposed for tests and for
     the example programs). *)
 
-val fig1 : env -> Kg_util.Table.t
-(** PCM-only vs KG-N vs KG-W average lifetime (years) at 10/30/100 M
-    endurance. *)
+type experiment = {
+  id : string;
+  doc : string;
+  runs : opts -> job list;
+      (** the fetches the table will perform, for prefetching; may
+          contain duplicates and may be empty for experiments that do
+          not go through {!fetch} (tab1/tab2 are static; ext-allocator
+          drives spaces directly) *)
+  table : env -> Kg_util.Table.t;
+}
 
-val fig2 : env -> Kg_util.Table.t
-(** Nursery/mature write split and top-10%/top-2% mature write
-    concentration per benchmark (instrumented GenImmix). *)
-
-val tab1 : env -> Kg_util.Table.t
-(** Collector configuration matrix. *)
-
-val tab2 : env -> Kg_util.Table.t
-(** Simulated system parameters. *)
-
-val tab3 : env -> Kg_util.Table.t
-(** Measured scaling and estimated 32-core write rates. *)
-
-val fig5 : env -> Kg_util.Table.t
-(** PCM lifetime relative to PCM-only. *)
-
-val fig6 : env -> Kg_util.Table.t
-(** PCM writes relative to PCM-only: KG-N, KG-W, and the LOO/MDO
-    ablations. *)
-
-val fig7 : env -> Kg_util.Table.t
-(** KG-N / KG-W / WP writebacks and WP migrations, relative to
-    PCM-only. *)
-
-val fig8 : env -> Kg_util.Table.t
-(** Energy-delay product relative to DRAM-only. *)
-
-val fig9 : env -> Kg_util.Table.t
-(** KG-W overhead breakdown over DRAM-only: PCM, Remsets, GC,
-    Monitoring, Other. *)
-
-val fig10 : env -> Kg_util.Table.t
-(** Origin of PCM writes (application / nursery / observer / major GC)
-    for KG-N and KG-W, relative to KG-N total. *)
-
-val fig11 : env -> Kg_util.Table.t
-(** Barrier-observed application writes to PCM: KG-N-12, KG-W,
-    KG-W-PM relative to KG-N. *)
-
-val fig12 : env -> Kg_util.Table.t
-(** Execution time relative to KG-N: KG-W and its ablations. *)
-
-val fig13 : env -> Kg_util.Table.t
-(** Heap composition over time (PCM vs DRAM MB) for PR and eclipse. *)
-
-val tab4 : env -> Kg_util.Table.t
-(** Object demographics and per-collector space usage. *)
-
-val ext_threshold : env -> Kg_util.Table.t
-(** Extension (§4.2.2 future work): place an object in mature DRAM only
-    after k monitored writes; k=1 is the paper's write bit. *)
-
-val ext_write_trigger : env -> Kg_util.Table.t
-(** Extension (§6.2.1 future work): trigger major collections when
-    barrier-observed PCM writes accumulate, rescuing written PCM
-    objects early. *)
-
-val ext_observer_size : env -> Kg_util.Table.t
-(** Sensitivity of PCM writes / time / survival to the observer size
-    (the paper fixes 2x nursery, §5.1). *)
-
-val ext_pauses : env -> Kg_util.Table.t
-(** Average modeled pause per collection kind under KG-W, checking the
-    §4.2.1 ordering nursery < observer < full-heap. *)
-
-val ext_allocator : env -> Kg_util.Table.t
-(** Immix mark-region vs segregated-fit free-list on an identical
-    stream: footprint, internal fragmentation, and cache-filtered
-    memory traffic (§3's locality premise). *)
-
-val ext_threads : env -> Kg_util.Table.t
-(** PCM write-rate scaling from 1 to 4 interleaved mutator threads on
-    one cache hierarchy (the contention effect behind Table 3). *)
-
-val ext_nursery_size : env -> Kg_util.Table.t
-(** KG-N nursery-size sweep: §6.2.1's finding that a larger nursery
-    helps nursery-write-heavy benchmarks but not mature-write-heavy
-    ones. *)
-
-val all : (string * string * (env -> Kg_util.Table.t)) list
-(** (id, description, runner) for every experiment above, including the
-    three extensions. *)
+val all : experiment list
+(** Every experiment: tab1-tab4, fig1, fig2, fig5-fig13, and the
+    ext-* extensions. *)
 
 val run_by_name : env -> string -> Kg_util.Table.t
 (** Raises [Not_found] for an unknown id. *)

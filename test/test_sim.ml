@@ -158,15 +158,16 @@ let tiny_env () =
 let test_experiments_registry () =
   check_int "22 experiments" 22 (List.length Experiments.all);
   List.iter
-    (fun (id, desc, _) ->
-      check_bool (id ^ " described") true (String.length desc > 0))
+    (fun (e : Experiments.experiment) ->
+      check_bool (e.Experiments.id ^ " described") true
+        (String.length e.Experiments.doc > 0))
     Experiments.all
 
 let test_experiments_static_tables () =
   let env = tiny_env () in
-  let t1 = Experiments.tab1 env in
+  let t1 = Experiments.run_by_name env "tab1" in
   check_bool "tab1 renders" true (String.length (Kg_util.Table.render t1) > 100);
-  let t2 = Experiments.tab2 env in
+  let t2 = Experiments.run_by_name env "tab2" in
   check_bool "tab2 renders" true (String.length (Kg_util.Table.render t2) > 100)
 
 let test_experiments_fig11_runs () =
