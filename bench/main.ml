@@ -12,10 +12,19 @@
 
    Part 3 benchmarks the experiment engine itself: regenerating one
    figure sequentially versus on a --jobs-wide domain pool, both with
-   the store disabled so every sample really recomputes the matrix. *)
+   the store disabled so every sample really recomputes the matrix.
+
+   Part 4 benchmarks the batched memory port: one fixed synthetic
+   access stream replayed through the Null, Counting and Cache_sim
+   sink stacks, against a per-access closure-record interface shaped
+   like the port's predecessor. Pass --ports to run only this part
+   (the CI smoke step does), and --ports-json FILE to write the
+   accesses/sec table as JSON (BENCH_port_sinks.json in the repo is a
+   checked-in trajectory point from this). *)
 
 open Bechamel
 open Toolkit
+module Port = Kg_mem.Port
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: primitive microbenchmarks                                   *)
@@ -135,6 +144,149 @@ let run_engine jobs =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   ols_report results
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: batched port vs per-access closure dispatch                 *)
+
+(* The pre-refactor interface shape: a record of per-access closures.
+   Kept here (only) as the benchmark baseline. *)
+type closure_iface = {
+  c_read : addr:int -> size:int -> unit;
+  c_write : addr:int -> size:int -> unit;
+  c_set_phase : int -> unit;
+}
+
+type stream = {
+  s_addrs : int array;
+  s_sizes : int array;
+  s_writes : bool array;
+  s_tags : int array;
+}
+
+let make_stream n =
+  let rng = Kg_util.Rng.of_seed 7 in
+  {
+    (* 4-byte-aligned addresses over the first 2 GiB of the hybrid
+       map, so the stream hits both devices *)
+    s_addrs = Array.init n (fun _ -> 4 * Kg_util.Rng.int rng (1 lsl 29));
+    s_sizes = Array.init n (fun _ -> 8 + Kg_util.Rng.int rng 248);
+    s_writes = Array.init n (fun _ -> Kg_util.Rng.bernoulli rng 0.5);
+    s_tags = Array.init n (fun _ -> Kg_util.Rng.int rng Kg_gc.Phase.count);
+  }
+
+let fresh_hier () =
+  let map = Kg_mem.Address_map.hybrid () in
+  let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
+  (Kg_cache.Hierarchy.create ~controller:ctrl (), map)
+
+(* One closure-record assembly per sink kind, dispatching per access
+   exactly as the old interface did. *)
+let closure_counting map =
+  let c = Port.fresh_counters ~phases:Kg_gc.Phase.count in
+  let phase = ref 0 in
+  let one ~write ~addr ~size =
+    match Kg_mem.Address_map.kind_of map addr with
+    | Kg_mem.Device.Dram ->
+      if write then c.Port.dram_write_bytes <- c.Port.dram_write_bytes + size
+      else c.Port.dram_read_bytes <- c.Port.dram_read_bytes + size
+    | Kg_mem.Device.Pcm ->
+      if write then begin
+        c.Port.pcm_write_bytes <- c.Port.pcm_write_bytes + size;
+        c.Port.pcm_write_bytes_by_phase.(!phase) <-
+          c.Port.pcm_write_bytes_by_phase.(!phase) + size
+      end
+      else c.Port.pcm_read_bytes <- c.Port.pcm_read_bytes + size
+  in
+  {
+    c_read = (fun ~addr ~size -> one ~write:false ~addr ~size);
+    c_write = (fun ~addr ~size -> one ~write:true ~addr ~size);
+    c_set_phase = (fun p -> phase := p);
+  }
+
+let closure_cache hier =
+  {
+    c_read = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range hier ~addr ~size ~write:false);
+    c_write = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range hier ~addr ~size ~write:true);
+    c_set_phase = (fun p -> Kg_cache.Hierarchy.set_phase hier p);
+  }
+
+let drive_closure iface s =
+  let n = Array.length s.s_addrs in
+  let cur = ref (-1) in
+  for i = 0 to n - 1 do
+    let tag = s.s_tags.(i) in
+    if tag <> !cur then begin
+      cur := tag;
+      iface.c_set_phase tag
+    end;
+    if s.s_writes.(i) then iface.c_write ~addr:s.s_addrs.(i) ~size:s.s_sizes.(i)
+    else iface.c_read ~addr:s.s_addrs.(i) ~size:s.s_sizes.(i)
+  done
+
+let drive_port port s =
+  let n = Array.length s.s_addrs in
+  let cur = ref (-1) in
+  for i = 0 to n - 1 do
+    let tag = s.s_tags.(i) in
+    if tag <> !cur then begin
+      cur := tag;
+      Port.set_phase_tag port tag
+    end;
+    if s.s_writes.(i) then Port.write port ~addr:s.s_addrs.(i) ~size:s.s_sizes.(i)
+    else Port.read port ~addr:s.s_addrs.(i) ~size:s.s_sizes.(i)
+  done;
+  Port.flush port
+
+let run_ports ?(json_out = None) () =
+  let n = 100_000 and repeats = 5 in
+  let s = make_stream n in
+  let time name f =
+    f ();
+    (* warmup *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let aps = float_of_int (n * repeats) /. dt in
+    Printf.printf "  %-28s %12.0f accesses/s\n%!" name aps;
+    (name, aps)
+  in
+  Printf.printf "\n== port sinks: batched port vs per-access closures (%d accesses x%d) ==\n%!"
+    n repeats;
+  let map = Kg_mem.Address_map.hybrid () in
+  let results =
+    [
+      time "closure/counting" (fun () -> drive_closure (closure_counting map) s);
+      time "port/null" (fun () ->
+          drive_port (Port.create ~sink:Port.Null ()) s);
+      time "port/counting" (fun () ->
+          drive_port (fst (Kg_gc.Mem_iface.counting ~map)) s);
+      time "closure/cache-sim" (fun () ->
+          let hier, _ = fresh_hier () in
+          drive_closure (closure_cache hier) s);
+      time "port/cache-sim" (fun () ->
+          let hier, _ = fresh_hier () in
+          drive_port (Kg_gc.Mem_iface.of_hierarchy hier) s);
+    ]
+  in
+  let find k = List.assoc k results in
+  let speedup num den = find num /. find den in
+  Printf.printf "  speedup counting: %.2fx, cache-sim: %.2fx\n%!"
+    (speedup "port/counting" "closure/counting")
+    (speedup "port/cache-sim" "closure/cache-sim");
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc "{\n  \"bench\": \"port_sinks\",\n  \"accesses\": %d,\n  \"repeats\": %d,\n  \"accesses_per_sec\": {\n%s\n  },\n  \"speedup\": {\n    \"counting\": %.3f,\n    \"cache_sim\": %.3f\n  }\n}\n"
+        n repeats
+        (String.concat ",\n"
+           (List.map (fun (k, v) -> Printf.sprintf "    %S: %.0f" k v) results))
+        (speedup "port/counting" "closure/counting")
+        (speedup "port/cache-sim" "closure/cache-sim");
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+    json_out
+
 let () =
   let full =
     Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
@@ -147,6 +299,18 @@ let () =
     in
     match find 0 with Some j -> j | None -> Domain.recommended_domain_count ()
   in
-  run_micro ();
-  run_experiments full;
-  run_engine jobs
+  let json_out =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--ports-json" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 0
+  in
+  if Array.exists (( = ) "--ports") Sys.argv then run_ports ~json_out ()
+  else begin
+    run_micro ();
+    run_experiments full;
+    run_ports ~json_out ();
+    run_engine jobs
+  end

@@ -11,6 +11,7 @@ type t = {
   mutable phase : int;
   mutable accesses : int;
   mutable hit_time_ns : float;
+  mutable drained : bool;
 }
 
 let create ?(l1 = default_l1) ?(l2 = default_l2) ?(l3 = default_l3) ?(line_size = 64) ~controller () =
@@ -24,6 +25,7 @@ let create ?(l1 = default_l1) ?(l2 = default_l2) ?(l3 = default_l3) ?(line_size 
     phase = 0;
     accesses = 0;
     hit_time_ns = 0.0;
+    drained = false;
   }
 
 let controller t = t.ctrl
@@ -59,30 +61,61 @@ let rec demand t lvl addr write tag =
     end
   end
 
+(* Accesses after [drain] would silently miss the final writeback
+   flush, so they fail fast; call [reopen] first when a post-drain
+   cold-cache measurement is the point. *)
+let check_open t =
+  if t.drained then
+    invalid_arg "Kg_cache.Hierarchy: access after drain (use reopen to resume)"
+
 let read t addr =
+  check_open t;
   t.accesses <- t.accesses + 1;
   demand t 0 addr false t.phase
 
 let write t addr =
+  check_open t;
   t.accesses <- t.accesses + 1;
   demand t 0 addr true t.phase
 
-let access_range t ~addr ~size ~write =
+(* One record's worth of line splitting, shared by the legacy
+   per-access entry point and the batch path. *)
+let[@inline] split_lines t addr size write tag =
   if size > 0 then begin
     let first = addr / t.line_size in
     let last = (addr + size - 1) / t.line_size in
     for line = first to last do
       let a = line * t.line_size in
       t.accesses <- t.accesses + 1;
-      demand t 0 a write t.phase
+      demand t 0 a write tag
     done
   end
 
-let drain t =
-  for lvl = 0 to nlevels - 1 do
-    let wbs = Cache.invalidate_all t.levels.(lvl) in
-    List.iter (fun wb -> writeback t (lvl + 1) wb) wbs
+let access_range t ~addr ~size ~write =
+  check_open t;
+  split_lines t addr size write t.phase
+
+let access_run t (b : Kg_mem.Port.batch) =
+  check_open t;
+  for i = 0 to b.len - 1 do
+    let m = Array.unsafe_get b.metas i in
+    split_lines t
+      (Array.unsafe_get b.addrs i)
+      (Array.unsafe_get b.sizes i)
+      (Kg_mem.Port.is_write m) (Kg_mem.Port.tag_of m)
   done
+
+let drain t =
+  if not t.drained then begin
+    for lvl = 0 to nlevels - 1 do
+      let wbs = Cache.invalidate_all t.levels.(lvl) in
+      List.iter (fun wb -> writeback t (lvl + 1) wb) wbs
+    done;
+    t.drained <- true
+  end
+
+let drained t = t.drained
+let reopen t = t.drained <- false
 
 let level_stats t = Array.map Cache.stats t.levels
 let hit_time_ns t = t.hit_time_ns

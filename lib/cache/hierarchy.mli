@@ -42,9 +42,27 @@ val access_range : t -> addr:int -> size:int -> write:bool -> unit
 (** Touch every cache line overlapping [\[addr, addr+size)]. Used for
     object copies and zeroing, which stream over whole objects. *)
 
+val access_run : t -> Kg_mem.Port.batch -> unit
+(** Batch entry point for {!Kg_mem.Port} flushes: perform line
+    splitting and phase tagging for every record of the batch, in
+    order. Each record uses the write flag and phase tag it was issued
+    under, not the hierarchy's current phase. *)
+
 val drain : t -> unit
 (** Flush all levels so dirty resident lines reach the traffic counts;
-    call once at simulation end. *)
+    call once at simulation end. Idempotent: a second drain is a
+    no-op (the first already invalidated every line), so writebacks
+    are never double-counted. *)
+
+val drained : t -> bool
+(** True once {!drain} has run. Any demand access issued afterwards
+    raises [Invalid_argument] — traffic after the final flush would
+    silently vanish from the writeback counts. *)
+
+val reopen : t -> unit
+(** Clear the drained flag, for deliberate post-drain cold-cache
+    measurements (e.g. the allocator-locality experiment traverses the
+    heap against a drained hierarchy). *)
 
 val level_stats : t -> Cache.stats array
 (** Stats for L1, L2, L3 in order. *)

@@ -1,65 +1,59 @@
-type t = {
-  read : addr:int -> size:int -> unit;
-  write : addr:int -> size:int -> unit;
-  set_phase : Phase.t -> unit;
-  phase : unit -> Phase.t;
-}
+module Port = Kg_mem.Port
 
-type counters = {
+type t = Port.t
+
+type counters = Port.counters = {
   mutable dram_read_bytes : int;
   mutable dram_write_bytes : int;
   mutable pcm_read_bytes : int;
   mutable pcm_write_bytes : int;
   pcm_write_bytes_by_phase : int array;
-  mutable cur_phase : Phase.t;
 }
 
-let of_hierarchy h =
+type stats = Port.stats = {
+  s_dram_read_bytes : int;
+  s_dram_write_bytes : int;
+  s_pcm_read_bytes : int;
+  s_pcm_write_bytes : int;
+  s_pcm_write_bytes_by_phase : int array;
+}
+
+(* Eta-expanded (not value aliases) so call sites compile to direct
+   known-arity calls that inline the port append, instead of a
+   dynamic [caml_apply] through a closure value. *)
+let[@inline] read t ~addr ~size = Port.read t ~addr ~size
+let[@inline] write t ~addr ~size = Port.write t ~addr ~size
+let flush t = Port.flush t
+let set_phase t p = Port.set_phase_tag t (Phase.to_tag p)
+let phase t = Phase.of_tag (Port.phase_tag t)
+let stats t = Port.stats ~phases:Phase.count t
+
+(* Controller line counts, folded into the port's byte-denominated
+   stats record: one line written = line_size bytes. *)
+let stats_of_controller ctrl =
+  let open Kg_cache in
+  let ls = Controller.line_size ctrl in
+  let by_tag = Controller.writes_by_tag ctrl Kg_mem.Device.Pcm in
   {
-    read = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range h ~addr ~size ~write:false);
-    write = (fun ~addr ~size -> Kg_cache.Hierarchy.access_range h ~addr ~size ~write:true);
-    set_phase = (fun p -> Kg_cache.Hierarchy.set_phase h (Phase.to_tag p));
-    phase = (fun () -> Phase.of_tag (Kg_cache.Hierarchy.phase h));
+    s_dram_read_bytes = Controller.bytes_read ctrl Kg_mem.Device.Dram;
+    s_dram_write_bytes = Controller.bytes_written ctrl Kg_mem.Device.Dram;
+    s_pcm_read_bytes = Controller.bytes_read ctrl Kg_mem.Device.Pcm;
+    s_pcm_write_bytes = Controller.bytes_written ctrl Kg_mem.Device.Pcm;
+    s_pcm_write_bytes_by_phase =
+      Array.map (fun w -> w * ls) (Array.sub by_tag 0 Phase.count);
   }
+
+let hierarchy_driver h =
+  {
+    Port.run = (fun b -> Kg_cache.Hierarchy.access_run h b);
+    drv_stats = (fun () -> stats_of_controller (Kg_cache.Hierarchy.controller h));
+  }
+
+let of_hierarchy ?capacity h =
+  Port.create ?capacity ~sink:(Port.Cache_sim (hierarchy_driver h)) ()
 
 let counting ~map =
-  let c =
-    {
-      dram_read_bytes = 0;
-      dram_write_bytes = 0;
-      pcm_read_bytes = 0;
-      pcm_write_bytes = 0;
-      pcm_write_bytes_by_phase = Array.make Phase.count 0;
-      cur_phase = Phase.Application;
-    }
-  in
-  let kind addr = Kg_mem.Address_map.kind_of map addr in
-  let iface =
-    {
-      read =
-        (fun ~addr ~size ->
-          match kind addr with
-          | Kg_mem.Device.Dram -> c.dram_read_bytes <- c.dram_read_bytes + size
-          | Kg_mem.Device.Pcm -> c.pcm_read_bytes <- c.pcm_read_bytes + size);
-      write =
-        (fun ~addr ~size ->
-          match kind addr with
-          | Kg_mem.Device.Dram -> c.dram_write_bytes <- c.dram_write_bytes + size
-          | Kg_mem.Device.Pcm ->
-            c.pcm_write_bytes <- c.pcm_write_bytes + size;
-            let tag = Phase.to_tag c.cur_phase in
-            c.pcm_write_bytes_by_phase.(tag) <- c.pcm_write_bytes_by_phase.(tag) + size);
-      set_phase = (fun p -> c.cur_phase <- p);
-      phase = (fun () -> c.cur_phase);
-    }
-  in
-  (iface, c)
+  let c = Port.fresh_counters ~phases:Phase.count in
+  (Port.create ~sink:(Port.Counting (map, c)) (), c)
 
-let null () =
-  let phase = ref Phase.Application in
-  {
-    read = (fun ~addr:_ ~size:_ -> ());
-    write = (fun ~addr:_ ~size:_ -> ());
-    set_phase = (fun p -> phase := p);
-    phase = (fun () -> !phase);
-  }
+let null ?capacity () = Port.create ?capacity ~sink:Port.Null ()

@@ -73,6 +73,13 @@ let set_event_hook t f = t.event_hook <- f
 (* Introspection (for the invariant auditor and tests)                 *)
 
 let address_map t = t.map
+let mem t = t.mem
+
+(* Push any buffered port records to the sink; callers reading device
+   counters or controller state mid-run must flush first. The runtime
+   itself flushes before every gc_hook invocation. *)
+let flush_mem t = Mem_iface.flush t.mem
+
 let nursery_space t = t.nursery
 let observer_space t = t.observer
 let mature_pcm_space t = t.mature_pcm
@@ -249,13 +256,10 @@ let pcm_used t =
 (* ------------------------------------------------------------------ *)
 (* Copy machinery                                                      *)
 
-(* Traffic of moving an object: stream-read the old body, leave a
-   forwarding pointer, stream-write the new body. The allocation into
-   the destination space must already have updated [o.addr]. *)
-let copy_traffic t ~old_addr (o : O.t) =
-  t.mem.Mem_iface.read ~addr:old_addr ~size:o.size;
-  t.mem.Mem_iface.write ~addr:old_addr ~size:Layout.word;
-  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size
+(* Traffic of moving an object: the streaming pass lives with the
+   object model ({!O.stream_copy}); the allocation into the destination
+   space must already have updated [o.addr]. *)
+let copy_traffic t ~old_addr (o : O.t) = O.stream_copy t.mem ~old_addr o
 
 let alloc_into_immix _t space (o : O.t) =
   if not (Immix_space.alloc space o) then
@@ -272,7 +276,7 @@ let referrer_update_writes t (moved : O.t) =
     for _ = 1 to n do
       let r = Vec.get candidates (Rng.int t.rng (Vec.length candidates)) in
       if r != moved then begin
-        t.mem.Mem_iface.write ~addr:(O.field_addr r (Rng.int t.rng 64)) ~size:Layout.word;
+        Mem_iface.write t.mem ~addr:(O.field_addr r (Rng.int t.rng 64)) ~size:Layout.word;
         t.stats.Gc_stats.remset_slot_updates <- t.stats.Gc_stats.remset_slot_updates + 1
       end
     done
@@ -289,7 +293,7 @@ let process_remset t rs =
   Remset.iter rs (fun { Remset.slot_addr; target } ->
       st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
       if O.is_live target t.now then begin
-        t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word;
+        Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word;
         st.Gc_stats.remset_slot_updates <- st.Gc_stats.remset_slot_updates + 1
       end);
   Remset.clear rs
@@ -411,12 +415,13 @@ let collect_observer t =
     let st = t.stats in
     st.Gc_stats.observer_gcs <- st.Gc_stats.observer_gcs + 1;
     let work0 = copied_scanned st in
-    t.mem.Mem_iface.set_phase Phase.Observer_gc;
+    Mem_iface.set_phase t.mem Phase.Observer_gc;
     evacuate_observer t obs;
     (* The nursery is part of an observer collection (§4.2.2). *)
     collect_nursery t;
     Option.iter (process_remset t) t.obs_remset;
     log_pause t Phase.Observer_gc work0;
+    Mem_iface.flush t.mem;
     t.gc_hook Phase.Observer_gc
 
 (* Marking a live mature object: trace-read its header and reference
@@ -425,17 +430,17 @@ let collect_observer t =
 let mark_object t ~(mdo : bool) ~in_pcm (o : O.t) =
   let st = t.stats in
   st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
-  t.mem.Mem_iface.read ~addr:o.addr
+  Mem_iface.read t.mem ~addr:o.addr
     ~size:(min o.size (Layout.header_bytes + (o.ref_fields * Layout.word)));
   o.marked <- true;
   if mdo && in_pcm && not (O.is_small16 o) then begin
     let rbase = Immix_space.region_base_of_addr t.mature_pcm o.addr in
     let table = Hashtbl.find t.mdo_tables rbase in
-    t.mem.Mem_iface.write ~addr:(table + ((o.addr - rbase) / Layout.small_mark_threshold)) ~size:1;
+    Mem_iface.write t.mem ~addr:(table + ((o.addr - rbase) / Layout.small_mark_threshold)) ~size:1;
     st.Gc_stats.mark_table_writes <- st.Gc_stats.mark_table_writes + 1
   end
   else begin
-    t.mem.Mem_iface.write ~addr:o.addr ~size:1;
+    Mem_iface.write t.mem ~addr:o.addr ~size:1;
     st.Gc_stats.mark_header_writes <- st.Gc_stats.mark_header_writes + 1
   end
 
@@ -444,7 +449,7 @@ let sweep_immix t space meta_chunks =
     let blocks_per_region = Layout.mature_region / Layout.block in
     let chunk = Vec.get meta_chunks (block_index / blocks_per_region) in
     let addr = chunk + (block_index mod blocks_per_region * Immix_space.meta_bytes_per_block) in
-    t.mem.Mem_iface.write ~addr ~size:lines
+    Mem_iface.write t.mem ~addr ~size:lines
   in
   ignore
     (Immix_space.sweep space ~now:t.now ~write_meta
@@ -457,7 +462,7 @@ let collect_los t los ~keep =
   let evicted =
     Los.collect los ~now:t.now ~keep ~on_dead:(fun o -> Gc_stats.retire t.stats o) ()
   in
-  Los.iter los (fun o -> t.mem.Mem_iface.write ~addr:o.O.addr ~size:(2 * Layout.word));
+  Los.iter los (fun o -> Mem_iface.write t.mem ~addr:o.O.addr ~size:(2 * Layout.word));
   evicted
 
 let major_gc_inner t =
@@ -467,14 +472,14 @@ let major_gc_inner t =
   (* Collect the young generation(s) first. *)
   (match t.observer with
   | Some _ ->
-    t.mem.Mem_iface.set_phase Phase.Observer_gc;
+    Mem_iface.set_phase t.mem Phase.Observer_gc;
     (match t.observer with Some obs -> evacuate_observer t obs | None -> ());
     collect_nursery t;
     Option.iter (process_remset t) t.obs_remset
   | None ->
-    t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+    Mem_iface.set_phase t.mem Phase.Nursery_gc;
     collect_nursery t);
-  t.mem.Mem_iface.set_phase Phase.Major_gc;
+  Mem_iface.set_phase t.mem Phase.Major_gc;
   let mdo =
     match t.cfg.Gc_config.collector with
     | Gc_config.Kg_writers { mdo; _ } -> mdo
@@ -569,13 +574,14 @@ let major_gc_inner t =
     ignore (Immix_space.sweep t.mature_pcm ~now:t.now ())
   | _ -> ());
   log_pause t Phase.Major_gc work0;
+  Mem_iface.flush t.mem;
   t.gc_hook Phase.Major_gc
 
 let run_major t =
   if not t.in_major then begin
     t.in_major <- true;
     major_gc_inner t;
-    t.mem.Mem_iface.set_phase Phase.Application;
+    Mem_iface.set_phase t.mem Phase.Application;
     t.in_major <- false;
     t.pcm_writes_at_last_major <- t.stats.Gc_stats.app_write_bytes_pcm
   end
@@ -609,18 +615,20 @@ let young_gc t =
     if Bump_space.free_bytes obs < expected * 3 / 2 then collect_observer t
     else begin
       let work0 = copied_scanned t.stats in
-      t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+      Mem_iface.set_phase t.mem Phase.Nursery_gc;
       collect_nursery t;
       log_pause t Phase.Nursery_gc work0;
+      Mem_iface.flush t.mem;
       t.gc_hook Phase.Nursery_gc
     end
   | None ->
     let work0 = copied_scanned t.stats in
-    t.mem.Mem_iface.set_phase Phase.Nursery_gc;
+    Mem_iface.set_phase t.mem Phase.Nursery_gc;
     collect_nursery t;
     log_pause t Phase.Nursery_gc work0;
+    Mem_iface.flush t.mem;
     t.gc_hook Phase.Nursery_gc);
-  t.mem.Mem_iface.set_phase Phase.Application;
+  Mem_iface.set_phase t.mem Phase.Application;
   maybe_major t
 
 (* ------------------------------------------------------------------ *)
@@ -660,8 +668,7 @@ let alloc t ~size ~heat ~death ~ref_fields =
   let size = Layout.align_object_size size in
   let o = O.make ~id:(fresh_id t) ~size ~heat ~death ~ref_fields in
   if O.is_large o then alloc_large t o else alloc_small t o;
-  (* Zeroing plus constructor initialisation: one streaming write pass. *)
-  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
+  O.stream_init t.mem o;
   t.now <- t.now +. float_of_int size;
   maybe_major t;
   t.event_hook (Trace.Alloc { id = o.id; size = o.size; heat; death; ref_fields });
@@ -675,7 +682,7 @@ let alloc_boot t ~size ~heat ~ref_fields =
   end
   else alloc_into_immix t t.mature_pcm o;
   o.age <- 1;
-  t.mem.Mem_iface.write ~addr:o.addr ~size:o.size;
+  O.stream_init t.mem o;
   t.now <- t.now +. float_of_int size;
   t.event_hook (Trace.Alloc_boot { id = o.id; size = o.size; heat; ref_fields });
   o
@@ -705,7 +712,7 @@ let monitor_write t (o : O.t) =
        single bit; higher values are the counting extension). *)
     o.epoch_writes <- o.epoch_writes + 1;
     if o.epoch_writes >= t.cfg.Gc_config.write_threshold then o.written <- true;
-    t.mem.Mem_iface.write ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
+    Mem_iface.write t.mem ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
     t.stats.Gc_stats.monitor_header_writes <- t.stats.Gc_stats.monitor_header_writes + 1
   end
 
@@ -718,14 +725,14 @@ let write_ref t ~src ~tgt =
   let slow = ref false in
   if src.O.space <> sp_nursery && tgt.O.space = sp_nursery then begin
     let maddr = Remset.insert t.gen_remset ~slot_addr ~target:tgt in
-    t.mem.Mem_iface.write ~addr:maddr ~size:Layout.word;
+    Mem_iface.write t.mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.gen_remset_inserts <- st.Gc_stats.gen_remset_inserts + 1;
     slow := true
   end;
   (match t.obs_remset with
   | Some rs when src.O.space > sp_observer && tgt.O.space <= sp_observer ->
     let maddr = Remset.insert rs ~slot_addr ~target:tgt in
-    t.mem.Mem_iface.write ~addr:maddr ~size:Layout.word;
+    Mem_iface.write t.mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.obs_remset_inserts <- st.Gc_stats.obs_remset_inserts + 1;
     slow := true
   | _ -> ());
@@ -735,7 +742,7 @@ let write_ref t ~src ~tgt =
     slow := true
   | _ -> ());
   if not !slow then st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1;
-  t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
+  Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word
 
 let write_prim t (o : O.t) =
   t.event_hook (Trace.Write_prim { obj = o.id });
@@ -746,19 +753,19 @@ let write_prim t (o : O.t) =
   (match t.cfg.Gc_config.collector with
   | Gc_config.Kg_writers { pm = true; _ } -> monitor_write t o
   | _ -> st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1);
-  t.mem.Mem_iface.write ~addr:slot_addr ~size:Layout.word
+  Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word
 
 let read_obj t (o : O.t) =
   t.event_hook (Trace.Read { obj = o.id });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + 1;
-  t.mem.Mem_iface.read ~addr:(O.field_addr o (Rng.int t.rng 64)) ~size:Layout.word
+  Mem_iface.read t.mem ~addr:(O.field_addr o (Rng.int t.rng 64)) ~size:Layout.word
 
 let read_burst t (o : O.t) n =
   t.event_hook (Trace.Read_burst { obj = o.id; words = n });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + n;
   let addr = O.field_addr o (Rng.int t.rng 64) in
   let size = min (n * Layout.word) (o.size - (addr - o.addr)) in
-  t.mem.Mem_iface.read ~addr ~size:(max Layout.word size)
+  Mem_iface.read t.mem ~addr ~size:(max Layout.word size)
 
 let flush_retirement_stats t =
   let st = t.stats in

@@ -149,6 +149,15 @@ val sp_los_dram : int
 val sp_los_pcm : int
 
 val address_map : t -> Kg_mem.Address_map.t
+
+val mem : t -> Mem_iface.t
+(** The memory port the runtime issues traffic through. *)
+
+val flush_mem : t -> unit
+(** Deliver any buffered port records to the sink. The runtime flushes
+    before every gc_hook invocation; callers reading device counters
+    or controller state at other points must flush first. *)
+
 val nursery_space : t -> Kg_heap.Bump_space.t
 val observer_space : t -> Kg_heap.Bump_space.t option
 val mature_pcm_space : t -> Kg_heap.Immix_space.t

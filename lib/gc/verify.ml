@@ -64,6 +64,10 @@ let live_census rt =
   (!count, !bytes)
 
 let audit ?counters ?(phase = Phase.Application) rt =
+  (* The counter cross-checks below read the device tallies, so any
+     records still buffered in the memory port must reach the sink
+     first. *)
+  Runtime.flush_mem rt;
   let vs = ref [] in
   let add invariant fmt =
     Printf.ksprintf (fun detail -> vs := { phase; invariant; detail } :: !vs) fmt

@@ -41,3 +41,13 @@ let field_addr o i =
   let payload = max Layout.word (o.size - Layout.header_bytes) in
   let slots = payload / Layout.word in
   o.addr + Layout.header_bytes + (i mod slots * Layout.word)
+
+(* Streaming traffic of the two heap bulk operations, issued straight
+   into the batched memory port. *)
+
+let stream_init port o = Kg_mem.Port.write port ~addr:o.addr ~size:o.size
+
+let stream_copy port ~old_addr o =
+  Kg_mem.Port.read port ~addr:old_addr ~size:o.size;
+  Kg_mem.Port.write port ~addr:old_addr ~size:Layout.word;
+  Kg_mem.Port.write port ~addr:o.addr ~size:o.size

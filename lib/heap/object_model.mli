@@ -47,3 +47,12 @@ val end_addr : t -> int
 val field_addr : t -> int -> int
 (** Address of the i-th word-sized field (for write traffic); wraps
     within the object payload. *)
+
+val stream_init : Kg_mem.Port.t -> t -> unit
+(** Zeroing plus constructor initialisation of a freshly allocated
+    object: one streaming write pass over its body. *)
+
+val stream_copy : Kg_mem.Port.t -> old_addr:int -> t -> unit
+(** Traffic of moving an object: stream-read the old body, write a
+    forwarding pointer word, stream-write the new body at [o.addr]
+    (which must already point into the destination space). *)

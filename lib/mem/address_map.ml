@@ -37,6 +37,9 @@ let kind_of t addr =
   else if addr >= t.pcm_base_ && addr < t.pcm_limit then Device.Pcm
   else invalid_arg (Printf.sprintf "Address_map.kind_of: address %#x unmapped" addr)
 
+let dram_bounds t = (t.dram_base_, t.dram_limit)
+let pcm_bounds t = (t.pcm_base_, t.pcm_limit)
+
 let dram_base t =
   if t.dram_base_ < 0 then invalid_arg "Address_map.dram_base: map has no such region"
   else t.dram_base_

@@ -21,6 +21,14 @@ val kind_of : t -> int -> Device.kind
 (** Device backing the given physical address. Raises
     [Invalid_argument] for addresses outside the map. *)
 
+val dram_bounds : t -> int * int
+(** [(base, limit)] of the DRAM region, [(-1, -1)] if the map has
+    none. Batch consumers hoist these out of their per-record loops
+    instead of calling {!kind_of} per access. *)
+
+val pcm_bounds : t -> int * int
+(** [(base, limit)] of the PCM region, [(-1, -1)] if the map has none. *)
+
 val dram_base : t -> int
 (** Base address of the DRAM region, or raises if the map has none. *)
 

@@ -172,32 +172,40 @@ let tick t =
     run_quantum t
   end
 
-let mem_iface t =
-  let chunked vaddr size f =
-    (* Translate per page so an access spanning a migration boundary
-       hits each page's current frame. *)
-    let rec go vaddr size =
-      if size > 0 then begin
-        let in_page = page_size - (vaddr mod page_size) in
-        let n = min size in_page in
-        f (translate t vaddr) n;
-        go (vaddr + n) (size - n)
-      end
-    in
-    go vaddr size
+let chunked t vaddr size f =
+  (* Translate per page so an access spanning a migration boundary
+     hits each page's current frame. *)
+  let rec go vaddr size =
+    if size > 0 then begin
+      let in_page = page_size - (vaddr mod page_size) in
+      let n = min size in_page in
+      f (translate t vaddr) n;
+      go (vaddr + n) (size - n)
+    end
   in
-  {
-    Kg_gc.Mem_iface.read =
-      (fun ~addr ~size ->
-        tick t;
-        chunked addr size (fun p n -> Hierarchy.access_range t.hier ~addr:p ~size:n ~write:false));
-    write =
-      (fun ~addr ~size ->
-        tick t;
-        chunked addr size (fun p n -> Hierarchy.access_range t.hier ~addr:p ~size:n ~write:true));
-    set_phase = (fun p -> Hierarchy.set_phase t.hier (Kg_gc.Phase.to_tag p));
-    phase = (fun () -> Kg_gc.Phase.of_tag (Hierarchy.phase t.hier));
-  }
+  go vaddr size
+
+(* The write-partition sink: each record ticks the access quantum (so
+   promotion/demotion passes fire at the same access positions as with
+   a per-access interface), translates through the page tables, and
+   lands on the cache hierarchy under the phase tag it was issued
+   with. *)
+let port t =
+  let module Port = Kg_mem.Port in
+  let run (b : Port.batch) =
+    for i = 0 to b.len - 1 do
+      tick t;
+      let m = Array.unsafe_get b.metas i in
+      Hierarchy.set_phase t.hier (Port.tag_of m);
+      let write = Port.is_write m in
+      chunked t
+        (Array.unsafe_get b.addrs i)
+        (Array.unsafe_get b.sizes i)
+        (fun p n -> Hierarchy.access_range t.hier ~addr:p ~size:n ~write)
+    done
+  in
+  let drv_stats () = Kg_gc.Mem_iface.stats_of_controller t.ctrl in
+  Port.create ~sink:(Port.Cache_sim { Port.run; drv_stats }) ()
 
 let dram_pages t = t.dram_resident
 let peak_dram_pages t = t.peak_dram

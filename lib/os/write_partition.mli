@@ -37,10 +37,11 @@ val create :
     The hierarchy's controller must route over a hybrid address map;
     WP installs itself as the controller's write observer. *)
 
-val mem_iface : t -> Kg_gc.Mem_iface.t
-(** The translated memory interface the runtime should use: virtual
-    heap addresses are mapped to their current physical frame before
-    entering the caches. *)
+val port : t -> Kg_gc.Mem_iface.t
+(** The translated memory port the runtime should use: batches flush
+    through a sink that maps virtual heap addresses to their current
+    physical frame before entering the caches, ticking the OS access
+    quantum per record. *)
 
 val dram_pages : t -> int
 (** Pages currently resident in the DRAM partition. *)

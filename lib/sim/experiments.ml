@@ -604,6 +604,9 @@ let ext_allocator env =
       end
     done;
     Kg_cache.Hierarchy.drain hier;
+    (* Deliberately measure a cold-cache traversal: drain flushed the
+       dirty lines, reopen lets demand accesses resume. *)
+    Kg_cache.Hierarchy.reopen hier;
     (* The locality that matters to the mutator: objects allocated
        together are accessed together. Traverse the survivors in
        allocation order and count the reads that miss all the way to

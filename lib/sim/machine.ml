@@ -39,7 +39,8 @@ let build ?(endurance = 30e6) system =
   let hier = Hierarchy.create ~controller:ctrl () in
   { system; map; ctrl; hier; wear }
 
+let port t = Kg_gc.Mem_iface.of_hierarchy t.hier
+
 let pcm_write_bytes t = Controller.bytes_written t.ctrl Device.Pcm
 let dram_write_bytes t = Controller.bytes_written t.ctrl Device.Dram
-let pcm_writes_by_phase t = Controller.writes_by_tag t.ctrl Device.Pcm
 let drain t = Hierarchy.drain t.hier

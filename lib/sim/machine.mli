@@ -29,7 +29,14 @@ val build : ?endurance:float -> system -> t
 (** Assemble caches, controller and wear-leveling for a system.
     [endurance] defaults to the paper's 30 M writes/cell. *)
 
+val port : t -> Kg_gc.Mem_iface.t
+(** A batched memory port whose [Cache_sim] sink drives this machine's
+    cache hierarchy; read traffic totals back with
+    {!Kg_gc.Mem_iface.stats}. *)
+
 val pcm_write_bytes : t -> int
 val dram_write_bytes : t -> int
-val pcm_writes_by_phase : t -> int array
+
 val drain : t -> unit
+(** Flush the cache hierarchy. Idempotent — see
+    {!Kg_cache.Hierarchy.drain}. *)

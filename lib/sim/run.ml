@@ -109,18 +109,18 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
   let live_mb = live_mb_of ~heap_scale bench in
   let cfg = config_of ~heap_scale spec bench in
   let counting_counters = ref None in
-  (* Assemble memory system, runtime address map, and memory interface. *)
+  (* Assemble memory system, runtime address map, and memory port. *)
   let machine, wp_engine, runtime_map, mem =
     match (mode, spec.wp) with
     | Simulate, false ->
       let m = Machine.build spec.system in
-      (Some m, None, m.Machine.map, Mem_iface.of_hierarchy m.Machine.hier)
+      (Some m, None, m.Machine.map, Machine.port m)
     | Simulate, true ->
       let m = Machine.build Machine.Hybrid in
       let virt_size = Kg_mem.Address_map.pcm_size m.Machine.map in
       let w = Kg_os.Write_partition.create ~hier:m.Machine.hier ~virt_size () in
       let vmap = Kg_mem.Address_map.pcm_only ~size:virt_size () in
-      (Some m, Some w, vmap, Kg_os.Write_partition.mem_iface w)
+      (Some m, Some w, vmap, Kg_os.Write_partition.port w)
     | Count, _ ->
       let map = Machine.map_of spec.system in
       let iface, c = Mem_iface.counting ~map in
@@ -154,7 +154,13 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
   Mutator.run mutator ~alloc_bytes ();
   Option.iter (fun r -> Trace.record r Trace.Flush_retirement) recorder;
   Runtime.flush_retirement_stats rt;
+  (* Push buffered port records to the sink before the final cache
+     drain, then read every device figure from the one stats record —
+     whichever sink (counting, cache hierarchy, write partition) was
+     installed. *)
+  Mem_iface.flush mem;
   Option.iter Machine.drain machine;
+  let traffic = Mem_iface.stats mem in
   let stats = Runtime.stats rt in
   let parts =
     Time_model.cpu_parts ~intensity:bench.Descriptor.cpu_intensity stats ~alloc_bytes
@@ -163,7 +169,6 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
   let time_s = Time_model.seconds parts in
   let energy = Option.map (fun m -> Energy.of_run ~machine:m ~time_s) machine in
   let f = float_of_int in
-  let get g k = match machine with Some m -> f (g m.Machine.ctrl k) | None -> 0.0 in
   let migration_pcm_bytes =
     match wp_engine with
     | Some w -> f (Kg_os.Write_partition.migration_pcm_line_writes w * 64)
@@ -174,28 +179,11 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
     spec;
     stats;
     alloc_bytes;
-    mem_pcm_write_bytes =
-      (match !counting_counters with
-      | Some c -> f c.Mem_iface.pcm_write_bytes
-      | None -> get Kg_cache.Controller.bytes_written Kg_mem.Device.Pcm);
-    mem_dram_write_bytes =
-      (match !counting_counters with
-      | Some c -> f c.Mem_iface.dram_write_bytes
-      | None -> get Kg_cache.Controller.bytes_written Kg_mem.Device.Dram);
-    mem_pcm_read_bytes =
-      (match !counting_counters with
-      | Some c -> f c.Mem_iface.pcm_read_bytes
-      | None -> get Kg_cache.Controller.bytes_read Kg_mem.Device.Pcm);
-    mem_dram_read_bytes =
-      (match !counting_counters with
-      | Some c -> f c.Mem_iface.dram_read_bytes
-      | None -> get Kg_cache.Controller.bytes_read Kg_mem.Device.Dram);
-    pcm_writes_by_phase =
-      (match (machine, !counting_counters) with
-      | Some m, _ ->
-        Array.map (fun w -> f (w * 64)) (Array.sub (Machine.pcm_writes_by_phase m) 0 Phase.count)
-      | None, Some c -> Array.map f c.Mem_iface.pcm_write_bytes_by_phase
-      | None, None -> Array.make Phase.count 0.0);
+    mem_pcm_write_bytes = f traffic.Mem_iface.s_pcm_write_bytes;
+    mem_dram_write_bytes = f traffic.Mem_iface.s_dram_write_bytes;
+    mem_pcm_read_bytes = f traffic.Mem_iface.s_pcm_read_bytes;
+    mem_dram_read_bytes = f traffic.Mem_iface.s_dram_read_bytes;
+    pcm_writes_by_phase = Array.map f traffic.Mem_iface.s_pcm_write_bytes_by_phase;
     wear_cov =
       (match machine with
       | Some { Machine.wear = Some w; _ } -> Kg_mem.Wear.write_distribution_cov w
@@ -238,5 +226,7 @@ let replay ?(seed = 42) ?(heap_scale = 3) spec bench events =
   let mem, counters = Mem_iface.counting ~map in
   let rt = Runtime.create ~config:cfg ~mem ~map ~seed () in
   match Replay.run rt events with
-  | Ok () -> Ok (Runtime.stats rt, counters)
+  | Ok () ->
+    Mem_iface.flush mem;
+    Ok (Runtime.stats rt, counters)
   | Error m -> Error m

@@ -194,6 +194,87 @@ let test_hierarchy_stats_levels () =
   check_int "l1 hit on re-read" 1 s.(0).Cache.hits;
   check_bool "hit time accumulates" true (Hierarchy.hit_time_ns h > 0.0)
 
+let test_hierarchy_drain_fail_fast () =
+  let h, ctrl = tiny_hier () in
+  Hierarchy.write h 65536;
+  Hierarchy.drain h;
+  let wb = Controller.writes ctrl Kg_mem.Device.Pcm in
+  Hierarchy.drain h;
+  check_int "double drain adds no writebacks" wb (Controller.writes ctrl Kg_mem.Device.Pcm);
+  check_bool "drained flag set" true (Hierarchy.drained h);
+  Alcotest.check_raises "post-drain access fails fast"
+    (Invalid_argument "Kg_cache.Hierarchy: access after drain (use reopen to resume)")
+    (fun () -> Hierarchy.read h 0);
+  Hierarchy.reopen h;
+  check_bool "reopen clears the flag" false (Hierarchy.drained h);
+  Hierarchy.read h 0;
+  check_bool "demand traffic resumes" true (Hierarchy.accesses h >= 2)
+
+(* The tentpole equivalence: delivering a stream as access_run batches
+   must be indistinguishable from the per-access read/write loop —
+   same per-level cache stats, same controller traffic per device and
+   tag, same access count and hit time. A deliberately tiny port
+   capacity forces mid-stream flushes so batch boundaries land at
+   arbitrary positions. *)
+let batch_equivalence_qcheck =
+  QCheck.Test.make ~name:"hierarchy: access_run batch == per-access loop" ~count:60
+    QCheck.(
+      pair (int_bound 2)
+        (small_list (quad bool (int_bound 120_000) (int_range 1 300) (int_bound 6))))
+    (fun (map_idx, ops) ->
+      let mk_map () =
+        match map_idx with
+        | 0 -> Kg_mem.Address_map.hybrid ~dram_size:65536 ~pcm_size:65536 ()
+        | 1 -> Kg_mem.Address_map.dram_only ~size:(2 * 65536) ()
+        | _ -> Kg_mem.Address_map.pcm_only ~size:(2 * 65536) ()
+      in
+      let mk_hier map =
+        let ctrl = Controller.create ~map ~line_size:64 () in
+        let l1 = { Hierarchy.size = 512; ways = 2; latency_ns = 1.0 } in
+        let l2 = { Hierarchy.size = 1024; ways = 2; latency_ns = 2.0 } in
+        let l3 = { Hierarchy.size = 2048; ways = 2; latency_ns = 3.0 } in
+        (Hierarchy.create ~l1 ~l2 ~l3 ~controller:ctrl (), ctrl)
+      in
+      let h1, c1 = mk_hier (mk_map ()) in
+      List.iter
+        (fun (write, addr, size, tag) ->
+          Hierarchy.set_phase h1 tag;
+          Hierarchy.access_range h1 ~addr ~size ~write)
+        ops;
+      let h2, c2 = mk_hier (mk_map ()) in
+      let port =
+        Kg_mem.Port.create ~capacity:7
+          ~sink:
+            (Kg_mem.Port.Cache_sim
+               {
+                 Kg_mem.Port.run = (fun b -> Hierarchy.access_run h2 b);
+                 drv_stats = (fun () -> Kg_mem.Port.zero_stats ~phases:8);
+               })
+          ()
+      in
+      List.iter
+        (fun (write, addr, size, tag) ->
+          Kg_mem.Port.set_phase_tag port tag;
+          if write then Kg_mem.Port.write port ~addr ~size
+          else Kg_mem.Port.read port ~addr ~size)
+        ops;
+      Kg_mem.Port.flush port;
+      Hierarchy.drain h1;
+      Hierarchy.drain h2;
+      let dev_eq d =
+        Controller.reads c1 d = Controller.reads c2 d
+        && Controller.writes c1 d = Controller.writes c2 d
+        && Controller.writes_by_tag c1 d = Controller.writes_by_tag c2 d
+      in
+      Hierarchy.accesses h1 = Hierarchy.accesses h2
+      && Hierarchy.hit_time_ns h1 = Hierarchy.hit_time_ns h2
+      && Array.for_all2
+           (fun (a : Cache.stats) (b : Cache.stats) ->
+             a.Cache.hits = b.Cache.hits && a.Cache.misses = b.Cache.misses
+             && a.Cache.writebacks = b.Cache.writebacks)
+           (Hierarchy.level_stats h1) (Hierarchy.level_stats h2)
+      && dev_eq Kg_mem.Device.Dram && dev_eq Kg_mem.Device.Pcm)
+
 let hierarchy_conservation_qcheck =
   QCheck.Test.make ~name:"hierarchy: writebacks bounded, drain idempotent" ~count:50
     QCheck.(small_list (pair bool (int_bound 100_000)))
@@ -251,6 +332,8 @@ let () =
           Alcotest.test_case "access_range spans lines" `Quick test_hierarchy_access_range_spans_lines;
           Alcotest.test_case "capacity evictions" `Quick test_hierarchy_capacity_eviction_to_memory;
           Alcotest.test_case "level stats" `Quick test_hierarchy_stats_levels;
+          Alcotest.test_case "drain fail-fast and reopen" `Quick test_hierarchy_drain_fail_fast;
+          QCheck_alcotest.to_alcotest batch_equivalence_qcheck;
           QCheck_alcotest.to_alcotest hierarchy_conservation_qcheck;
         ] );
     ]

@@ -327,6 +327,37 @@ let test_determinism () =
   Exec.shutdown ex4w
 
 (* ------------------------------------------------------------------ *)
+(* Byte-identity against the recorded pre-refactor figure set.
+
+   test/fixtures/pre_refactor/ holds every table rendered by the code
+   as it stood before the batched memory-port refactor, generated with
+     kingsguard experiments --scale 512 --heap-scale 8 --cap-mb 8 \
+       --seed 11 --no-cache --out test/fixtures/pre_refactor
+   The options are pinned here (not taken from KG_ENGINE_OPTS) so the
+   comparison always runs at the scale the fixture was recorded at. *)
+
+let fixture_opts = { E.scale = 512; heap_scale = 8; cap_mb = 8; seed = 11 }
+let fixture_dir = Filename.concat "fixtures" "pre_refactor"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_pre_refactor_fixture () =
+  let ex = Exec.create ~jobs:cold_jobs ~cache:false fixture_opts in
+  Exec.prefetch_experiments ex all_ids;
+  let env = Exec.env ex in
+  List.iter
+    (fun (e : E.experiment) ->
+      let expected = read_file (Filename.concat fixture_dir (e.E.id ^ ".txt")) in
+      check_str (e.E.id ^ ": byte-identical to pre-refactor fixture") expected
+        (Kg_util.Table.render (e.E.table env)))
+    E.all;
+  Exec.shutdown ex
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "kg_engine"
@@ -349,5 +380,9 @@ let () =
             test_exec_recompute_on_corruption;
         ] );
       ( "determinism",
-        [ Alcotest.test_case "parallel == sequential, cold and warm" `Slow test_determinism ] );
+        [
+          Alcotest.test_case "parallel == sequential, cold and warm" `Slow test_determinism;
+          Alcotest.test_case "byte-identical to pre-refactor fixture" `Slow
+            test_pre_refactor_fixture;
+        ] );
     ]

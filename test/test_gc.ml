@@ -74,10 +74,11 @@ let test_remset_basic () =
 let test_counting_mem () =
   let map = Kg_mem.Address_map.hybrid () in
   let mem, c = Mem_iface.counting ~map in
-  mem.Mem_iface.write ~addr:0 ~size:10;
-  mem.Mem_iface.set_phase Phase.Major_gc;
-  mem.Mem_iface.write ~addr:(2 * Kg_util.Units.gib) ~size:7;
-  mem.Mem_iface.read ~addr:(2 * Kg_util.Units.gib) ~size:5;
+  Mem_iface.write mem ~addr:0 ~size:10;
+  Mem_iface.set_phase mem Phase.Major_gc;
+  Mem_iface.write mem ~addr:(2 * Kg_util.Units.gib) ~size:7;
+  Mem_iface.read mem ~addr:(2 * Kg_util.Units.gib) ~size:5;
+  Mem_iface.flush mem;
   check_int "dram writes" 10 c.Mem_iface.dram_write_bytes;
   check_int "pcm writes" 7 c.Mem_iface.pcm_write_bytes;
   check_int "pcm reads" 5 c.Mem_iface.pcm_read_bytes;
@@ -273,8 +274,10 @@ let test_kgn_nursery_gc_writes_pcm_slots () =
   let young = alloc rt in
   Rt.write_ref rt ~src:pcm_holder ~tgt:young;
   let tag = Phase.to_tag Phase.Nursery_gc in
+  Mem_iface.flush mem;
   let before = c.Mem_iface.pcm_write_bytes_by_phase.(tag) in
   fill_mb rt 2 ~death:0.0;
+  Mem_iface.flush mem;
   check_bool "nursery GC wrote PCM (survivor copies + slot updates)" true
     (c.Mem_iface.pcm_write_bytes_by_phase.(tag) > before);
   check_bool "slot update recorded" true ((Rt.stats rt).Gc_stats.remset_slot_updates >= 1)
@@ -339,6 +342,7 @@ let test_mdo_redirects_mark_writes () =
     done;
     (* boot objects live in mature PCM; a major marks them all *)
     Rt.major_gc rt;
+    Rt.flush_mem rt;
     (Rt.stats rt).Gc_stats.mark_table_writes
     + (c.Mem_iface.pcm_write_bytes_by_phase.(Phase.to_tag Phase.Major_gc) * 0)
     |> fun table_writes ->
@@ -372,8 +376,10 @@ let test_metadata_device_placement () =
     let mature = Rt.alloc_boot rt ~size:64 ~heat:O.Cold ~ref_fields:1 in
     let young = alloc rt in
     (* isolate the remset-insert traffic *)
+    Mem_iface.flush mem;
     let dram0 = c.Mem_iface.dram_write_bytes and pcm0 = c.Mem_iface.pcm_write_bytes in
     Rt.write_ref rt ~src:mature ~tgt:young;
+    Mem_iface.flush mem;
     (c.Mem_iface.dram_write_bytes - dram0, c.Mem_iface.pcm_write_bytes - pcm0)
   in
   (* KG-N: metadata in PCM, and the store itself hits the PCM-resident

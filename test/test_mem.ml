@@ -116,6 +116,97 @@ let test_lifetime_helpers () =
   check_float "rate" 2.0 (Lifetime.write_rate ~bytes_written:10.0 ~elapsed_s:5.0);
   check_float "relative" 4.0 (Lifetime.relative ~baseline_rate:8.0 ~rate:2.0)
 
+(* ------------------------------------------------------------------ *)
+(* Port                                                                *)
+
+let port_map () = Address_map.hybrid ~dram_size:4096 ~pcm_size:8192 ()
+
+let counting_port ?capacity () =
+  let c = Port.fresh_counters ~phases:8 in
+  (Port.create ?capacity ~sink:(Port.Counting (port_map (), c)) (), c)
+
+let test_port_meta_packing () =
+  for tag = 0 to 7 do
+    let w = Port.meta ~write:true ~tag and r = Port.meta ~write:false ~tag in
+    check_bool "write bit set" true (Port.is_write w);
+    check_bool "read bit clear" false (Port.is_write r);
+    check_int "tag survives write" tag (Port.tag_of w);
+    check_int "tag survives read" tag (Port.tag_of r)
+  done
+
+let test_port_counting_sink () =
+  let p, c = counting_port () in
+  Port.write p ~addr:0 ~size:10;
+  Port.read p ~addr:100 ~size:3;
+  Port.set_phase_tag p 2;
+  Port.write p ~addr:4096 ~size:7;
+  Port.read p ~addr:5000 ~size:5;
+  check_int "nothing delivered before flush" 0 c.Port.dram_write_bytes;
+  Port.flush p;
+  check_int "dram writes" 10 c.Port.dram_write_bytes;
+  check_int "dram reads" 3 c.Port.dram_read_bytes;
+  check_int "pcm writes" 7 c.Port.pcm_write_bytes;
+  check_int "pcm reads" 5 c.Port.pcm_read_bytes;
+  check_int "phase attribution" 7 c.Port.pcm_write_bytes_by_phase.(2);
+  let s = Port.stats p in
+  check_int "stats mirror counters" 7 s.Port.s_pcm_write_bytes
+
+let test_port_flush_on_full () =
+  let p, c = counting_port ~capacity:4 () in
+  for _ = 1 to 10 do
+    Port.write p ~addr:0 ~size:1
+  done;
+  (* two full batches auto-flushed, two records still buffered *)
+  check_int "auto-flush on capacity" 8 c.Port.dram_write_bytes;
+  Port.flush p;
+  check_int "explicit flush drains the rest" 10 c.Port.dram_write_bytes;
+  Port.flush p;
+  check_int "empty flush is a no-op" 10 c.Port.dram_write_bytes
+
+let test_port_phase_travels_with_record () =
+  (* phase changes between buffered appends must not retag earlier
+     records: attribution is fixed at issue time, not flush time *)
+  let p, c = counting_port () in
+  Port.set_phase_tag p 1;
+  Port.write p ~addr:4096 ~size:11;
+  Port.set_phase_tag p 3;
+  Port.write p ~addr:4096 ~size:13;
+  Port.flush p;
+  check_int "first record keeps tag 1" 11 c.Port.pcm_write_bytes_by_phase.(1);
+  check_int "second record keeps tag 3" 13 c.Port.pcm_write_bytes_by_phase.(3)
+
+let test_port_tee_counts_once_per_arm () =
+  (* both Tee arms and the standalone counting port ride through the
+     single count_batch implementation, so all three tallies agree *)
+  let map = port_map () in
+  let c1 = Port.fresh_counters ~phases:8 and c2 = Port.fresh_counters ~phases:8 in
+  let tee =
+    Port.create ~sink:(Port.Tee (Port.Counting (map, c1), Port.Counting (map, c2))) ()
+  in
+  let solo, c3 = counting_port () in
+  let drive p =
+    Port.set_phase_tag p 0;
+    Port.write p ~addr:0 ~size:9;
+    Port.set_phase_tag p 4;
+    Port.write p ~addr:6000 ~size:21;
+    Port.read p ~addr:2000 ~size:5;
+    Port.flush p
+  in
+  drive tee;
+  drive solo;
+  List.iter
+    (fun c ->
+      check_int "dram writes agree" 9 c.Port.dram_write_bytes;
+      check_int "pcm writes agree" 21 c.Port.pcm_write_bytes;
+      check_int "dram reads agree" 5 c.Port.dram_read_bytes;
+      check_int "phase agrees" 21 c.Port.pcm_write_bytes_by_phase.(4))
+    [ c1; c2; c3 ]
+
+let test_port_create_validation () =
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Port.create: capacity must be positive") (fun () ->
+      ignore (Port.create ~capacity:0 ~sink:Port.Null ()))
+
 let wear_uniformity_qcheck =
   QCheck.Test.make ~name:"wear-leveling spreads any skewed stream" ~count:20
     QCheck.(small_list small_nat)
@@ -156,6 +247,15 @@ let () =
           Alcotest.test_case "spreads hot line" `Quick test_wear_spreads_hot_line;
           Alcotest.test_case "invalid input" `Quick test_wear_invalid;
           q wear_uniformity_qcheck;
+        ] );
+      ( "port",
+        [
+          Alcotest.test_case "meta packing" `Quick test_port_meta_packing;
+          Alcotest.test_case "counting sink" `Quick test_port_counting_sink;
+          Alcotest.test_case "flush on full" `Quick test_port_flush_on_full;
+          Alcotest.test_case "phase travels with record" `Quick test_port_phase_travels_with_record;
+          Alcotest.test_case "tee shares counting" `Quick test_port_tee_counts_once_per_arm;
+          Alcotest.test_case "creation validation" `Quick test_port_create_validation;
         ] );
       ( "lifetime",
         [

@@ -1,6 +1,7 @@
 open Kg_os
 module WP = Write_partition
 module H = Kg_cache.Hierarchy
+module Mem = Kg_gc.Mem_iface
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -15,14 +16,17 @@ let mk ?(quantum = 50) () =
   let hier = H.create ~controller:ctrl () in
   let cfg = { WP.default_config with WP.quantum_accesses = quantum } in
   let wp = WP.create ~config:cfg ~hier ~virt_size:(8 * mib) () in
-  (wp, WP.mem_iface wp, ctrl, hier)
+  (wp, WP.port wp, ctrl, hier)
 
-(* A demand write immediately drained out of the caches, so the memory
-   controller observes one writeback per call (the signal WP ranks
-   pages by). *)
+(* A demand write immediately flushed through the port and drained out
+   of the caches, so the memory controller observes one writeback per
+   call (the signal WP ranks pages by). Drain is sticky; reopen lets
+   demand traffic resume. *)
 let write_through mem hier vaddr =
-  mem.Kg_gc.Mem_iface.write ~addr:vaddr ~size:8;
-  H.drain hier
+  Mem.write mem ~addr:vaddr ~size:8;
+  Mem.flush mem;
+  H.drain hier;
+  H.reopen hier
 
 (* Make one page hot enough to reach the promotion queues (rank 4 needs
    2^4 = 16 observed writes) and spin enough accesses for quanta. *)
@@ -31,13 +35,15 @@ let heat_page mem hier vaddr =
     write_through mem hier vaddr
   done;
   for _ = 1 to 200 do
-    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
-  done
+    Mem.read mem ~addr:(7 * mib) ~size:8
+  done;
+  Mem.flush mem
 
 let test_wp_fresh_pages_in_pcm () =
   let _, mem, ctrl, _ = mk () in
-  mem.Kg_gc.Mem_iface.read ~addr:0 ~size:8;
-  mem.Kg_gc.Mem_iface.read ~addr:(4 * mib) ~size:8;
+  Mem.read mem ~addr:0 ~size:8;
+  Mem.read mem ~addr:(4 * mib) ~size:8;
+  Mem.flush mem;
   check_int "both reads from pcm" 2 (Kg_cache.Controller.reads ctrl Kg_mem.Device.Pcm)
 
 let test_wp_hot_page_promotes () =
@@ -53,8 +59,9 @@ let test_wp_cold_pages_stay () =
     write_through mem hier 0
   done;
   for _ = 1 to 200 do
-    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+    Mem.read mem ~addr:(7 * mib) ~size:8
   done;
+  Mem.flush mem;
   check_int "no promotion" 0 (WP.dram_pages wp)
 
 let test_wp_translation_changes_after_promotion () =
@@ -63,7 +70,8 @@ let test_wp_translation_changes_after_promotion () =
   check_int "promoted" 1 (WP.dram_pages wp);
   (* demand traffic on the hot page now lands in DRAM *)
   let dram_before = Kg_cache.Controller.reads ctrl Kg_mem.Device.Dram in
-  mem.Kg_gc.Mem_iface.read ~addr:128 ~size:8;
+  Mem.read mem ~addr:128 ~size:8;
+  Mem.flush mem;
   check_bool "reads hit the DRAM frame" true
     (Kg_cache.Controller.reads ctrl Kg_mem.Device.Dram > dram_before)
 
@@ -82,8 +90,9 @@ let test_wp_demotion_returns_pages () =
   (* idle traffic elsewhere: ranks decay every 5th quantum until the
      page falls below the threshold and migrates back *)
   for _ = 1 to 3000 do
-    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+    Mem.read mem ~addr:(7 * mib) ~size:8
   done;
+  Mem.flush mem;
   check_int "demoted back to PCM" 1 (WP.migrations_to_pcm wp);
   check_int "pcm migration lines counted" (page / 64) (WP.migration_pcm_line_writes wp);
   check_int "dram empty again" 0 (WP.dram_pages wp)
@@ -93,8 +102,9 @@ let test_wp_peak_tracking () =
   heat_page mem hier 0;
   heat_page mem hier (2 * mib);
   for _ = 1 to 3000 do
-    mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
+    Mem.read mem ~addr:(7 * mib) ~size:8
   done;
+  Mem.flush mem;
   check_int "peak saw both" 2 (WP.peak_dram_pages wp);
   check_bool "current below peak" true (WP.dram_pages wp < WP.peak_dram_pages wp)
 
@@ -109,8 +119,9 @@ let test_wp_dram_writes_keep_page_hot () =
       write_through mem hier 0
     done;
     for _ = 1 to 60 do
-      mem.Kg_gc.Mem_iface.read ~addr:(7 * mib) ~size:8
-    done
+      Mem.read mem ~addr:(7 * mib) ~size:8
+    done;
+    Mem.flush mem
   done;
   check_int "hot page pinned in DRAM" 1 (WP.dram_pages wp)
 
