@@ -32,6 +32,36 @@ val probe : t -> addr:int -> write:bool -> tag:int -> bool
     allocating; the caller fetches the line from the next level and
     then calls {!fill}. *)
 
+val probe_fill : t -> addr:int -> write:bool -> tag:int -> int
+(** Fused hot-path lookup: one scan over the set resolves the hit, the
+    victim choice and the writeback production. Returns [0] on a hit
+    (state updated as {!probe}). On a miss the line is filled in place
+    (as {!probe} followed by {!fill} — the set cannot change in
+    between, so fusing is behaviour-preserving) and the result is [1]
+    for a clean or invalid victim, or [2] for a dirty victim whose
+    address and phase tag are published in {!last_wb_addr} and
+    {!last_wb_tag}. Never allocates. *)
+
+val last_wb_addr : t -> int
+(** Address of the dirty victim evicted by the last {!probe_fill} that
+    returned [2]. Only meaningful immediately after that call. *)
+
+val last_wb_tag : t -> int
+(** Phase tag of that victim. *)
+
+val bump_run : t -> addr:int -> count:int -> dirty:bool -> tag:int -> unit
+(** Bulk update for the hierarchy's same-line run coalescer: apply the
+    effect of [count] consecutive hits to the resident line containing
+    [addr] — [count] hits counted, the LRU clock advanced by [count],
+    the line restamped to the final clock value, and, if [dirty], the
+    dirty bit set with [tag] as the (last) writer. Raises
+    [Invalid_argument] if the line is not resident. *)
+
+val prefetch_set : t -> addr:int -> unit
+(** Issue the loads for [addr]'s set so its tag and meta lines are in
+    flight while the caller does other work. Purely a host-side
+    latency hint: simulator state is not modified. *)
+
 val fill : t -> addr:int -> write:bool -> tag:int -> writeback option
 (** Allocate the line containing [addr] (after a miss), evicting the
     LRU way of its set. Returns the dirty victim, if any, which the
@@ -39,7 +69,9 @@ val fill : t -> addr:int -> write:bool -> tag:int -> writeback option
 
 val invalidate_all : t -> writeback list
 (** Flush the cache, returning all dirty lines (used at simulation end
-    to drain resident dirty data into the traffic counts). *)
+    to drain resident dirty data into the traffic counts). The list is
+    ordered by ascending way index (set-major scan order), so drain
+    writeback order is deterministic and documented. *)
 
 (** Hit/miss/writeback counters. *)
 type stats = { hits : int; misses : int; writebacks : int }

@@ -33,6 +33,17 @@ val line_write : t -> int -> tag:int -> unit
 (** Service a line writeback. [tag] identifies the phase that produced
     the dirty data. *)
 
+val line_read_run : t -> addrs:int array -> len:int -> unit
+(** Service the first [len] addresses of [addrs] as line fetches, in
+    order. Equivalent to [len] calls of {!line_read} (bit-identical
+    time/energy accumulation), with the address-map bounds and device
+    constants hoisted out of the loop. *)
+
+val line_write_run : t -> addrs:int array -> tags:int array -> len:int -> unit
+(** Same for line writebacks: element [i] of [addrs]/[tags] is one
+    {!line_write}. The [on_write] hook and wear accounting fire per
+    event, in order. *)
+
 val reads : t -> Kg_mem.Device.kind -> int
 val writes : t -> Kg_mem.Device.kind -> int
 

@@ -46,13 +46,23 @@ val access_run : t -> Kg_mem.Port.batch -> unit
 (** Batch entry point for {!Kg_mem.Port} flushes: perform line
     splitting and phase tagging for every record of the batch, in
     order. Each record uses the write flag and phase tag it was issued
-    under, not the hierarchy's current phase. *)
+    under, not the hierarchy's current phase.
+
+    This is the primary kernel entry point: {!read}, {!write} and
+    {!access_range} are thin wrappers over the same fused three-level
+    walk. Consecutive single-line records falling in one line are
+    coalesced into the first record's demand access plus one O(1)
+    bulk stats/LRU update, which is observationally identical to the
+    per-access loop (see DESIGN.md, "Cache kernel"). *)
 
 val drain : t -> unit
 (** Flush all levels so dirty resident lines reach the traffic counts;
     call once at simulation end. Idempotent: a second drain is a
     no-op (the first already invalidated every line), so writebacks
-    are never double-counted. *)
+    are never double-counted. Writeback order is deterministic: L1
+    first, then L2, then L3, each emitting its dirty lines in
+    ascending way-index order ({!Cache.invalidate_all}), each victim
+    cascading through the lower levels before the next is emitted. *)
 
 val drained : t -> bool
 (** True once {!drain} has run. Any demand access issued afterwards
@@ -69,7 +79,10 @@ val level_stats : t -> Cache.stats array
 
 val hit_time_ns : t -> float
 (** Aggregate latency of cache accesses (hits and per-level lookup
-    costs), excluding memory device time. *)
+    costs), excluding memory device time. Maintained as per-level
+    integer visit counters and folded here — bit-identical to the old
+    one-add-per-visit accumulation for level latencies that are exact
+    multiples of 0.5 ns (the defaults are). *)
 
 val accesses : t -> int
 (** Demand accesses issued (reads + writes), before line splitting. *)

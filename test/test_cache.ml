@@ -275,6 +275,172 @@ let batch_equivalence_qcheck =
            (Hierarchy.level_stats h1) (Hierarchy.level_stats h2)
       && dev_eq Kg_mem.Device.Dram && dev_eq Kg_mem.Device.Pcm)
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: deterministic drain order.                               *)
+
+let test_invalidate_all_ascending () =
+  let c = small_cache () in
+  (* set-major way order: set0 way0, set0 way1, set1 way0, set3 way0 *)
+  ignore (Cache.fill c ~addr:0 ~write:true ~tag:1);
+  ignore (Cache.fill c ~addr:(4 * 64) ~write:true ~tag:2);
+  ignore (Cache.fill c ~addr:64 ~write:true ~tag:3);
+  ignore (Cache.fill c ~addr:(3 * 64) ~write:true ~tag:4);
+  let wbs = Cache.invalidate_all c in
+  Alcotest.(check (list int))
+    "writebacks in ascending way-index order" [ 0; 256; 64; 192 ]
+    (List.map (fun wb -> wb.Cache.wb_addr) wbs)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: same-line run coalescer edge cases. Batches are built by
+   hand so record boundaries are exactly what the coalescer sees.     *)
+
+let batch_of records =
+  let n = List.length records in
+  let b =
+    {
+      Kg_mem.Port.len = n;
+      addrs = Array.make n 0;
+      sizes = Array.make n 0;
+      metas = Array.make n 0;
+    }
+  in
+  List.iteri
+    (fun i (addr, size, write, tag) ->
+      b.Kg_mem.Port.addrs.(i) <- addr;
+      b.Kg_mem.Port.sizes.(i) <- size;
+      b.Kg_mem.Port.metas.(i) <- Kg_mem.Port.meta ~write ~tag)
+    records;
+  b
+
+let test_coalescer_write_upgrade () =
+  (* A read then a write to one resident line: the folded write must
+     still dirty the line, so the drained writeback carries its tag. *)
+  let h, ctrl = tiny_hier () in
+  Hierarchy.access_run h (batch_of [ (65536, 8, false, 0); (65540, 8, true, 5) ]);
+  let l1 = (Hierarchy.level_stats h).(0) in
+  check_int "one demand miss" 1 l1.Cache.misses;
+  check_int "folded record counts as a hit" 1 l1.Cache.hits;
+  check_int "both records counted" 2 (Hierarchy.accesses h);
+  Hierarchy.drain h;
+  check_int "write-after-read still drains dirty" 1 (Controller.writes ctrl Kg_mem.Device.Pcm);
+  check_int "writeback carries the writer's tag" 1
+    (Controller.writes_by_tag ctrl Kg_mem.Device.Pcm).(5)
+
+let test_coalescer_last_writer_tag () =
+  (* Two writes folded into one run: the line's phase tag must end up
+     as the last writer's, exactly as per-access writes would leave it. *)
+  let h, ctrl = tiny_hier () in
+  Hierarchy.access_run h (batch_of [ (65536, 8, true, 2); (65544, 8, true, 6) ]);
+  Hierarchy.drain h;
+  let tags = Controller.writes_by_tag ctrl Kg_mem.Device.Pcm in
+  check_int "first writer's tag overwritten" 0 tags.(2);
+  check_int "last writer's tag wins" 1 tags.(6)
+
+let test_coalescer_set_conflict_breaks_run () =
+  (* a / b / a with a and b conflicting in a 1-way L1: the middle
+     record evicts a, so the third access must be a fresh miss, not a
+     coalesced hit. *)
+  let map = Kg_mem.Address_map.hybrid ~dram_size:65536 ~pcm_size:65536 () in
+  let ctrl = Controller.create ~map ~line_size:64 () in
+  let l1 = { Hierarchy.size = 128; ways = 1; latency_ns = 1.0 } in
+  let l2 = { Hierarchy.size = 256; ways = 1; latency_ns = 2.0 } in
+  let l3 = { Hierarchy.size = 512; ways = 1; latency_ns = 3.0 } in
+  let h = Hierarchy.create ~l1 ~l2 ~l3 ~controller:ctrl () in
+  Hierarchy.access_run h (batch_of [ (0, 8, false, 0); (128, 8, false, 0); (0, 8, false, 0) ]);
+  let s1 = (Hierarchy.level_stats h).(0) in
+  check_int "all three accesses miss L1" 3 s1.Cache.misses;
+  check_int "no false coalescing across the conflict" 0 s1.Cache.hits
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: differential oracle. Random streams through the fused
+   kernel (via a small-capacity port, so batch boundaries, spill
+   flushes and coalescer runs land arbitrarily) and through
+   Reference_cache, the pre-kernel implementation kept as simple,
+   obviously correct code. Everything observable must match exactly:
+   per-level stats, access counts, hit time, per-device controller
+   counters, the byte-for-byte order of memory writebacks, and the
+   float time/energy accumulators (the kernel's batching claims
+   bit-identical accumulation order). *)
+
+let differential_qcheck =
+  QCheck.Test.make ~name:"hierarchy: fused kernel == reference oracle" ~count:80
+    QCheck.(
+      small_list
+        (pair (int_bound 19) (quad bool (int_bound 120_000) (int_range 0 300) (int_bound 6))))
+    (fun ops ->
+      let mk_map () = Kg_mem.Address_map.hybrid ~dram_size:65536 ~pcm_size:65536 () in
+      let l1 = { Hierarchy.size = 512; ways = 2; latency_ns = 1.0 } in
+      let l2 = { Hierarchy.size = 1024; ways = 2; latency_ns = 2.0 } in
+      let l3 = { Hierarchy.size = 2048; ways = 2; latency_ns = 3.0 } in
+      (* reference side: per-access closures, one controller call per
+         memory event *)
+      let wb1 = ref [] in
+      let c1 =
+        Controller.create ~on_write:(fun a -> wb1 := a :: !wb1) ~map:(mk_map ()) ~line_size:64 ()
+      in
+      let r = Reference_cache.create ~l1 ~l2 ~l3 ~controller:c1 () in
+      List.iter
+        (fun (kind, (write, addr, size, tag)) ->
+          if kind = 0 then begin
+            Reference_cache.drain r;
+            Reference_cache.reopen r
+          end
+          else begin
+            Reference_cache.set_phase r tag;
+            Reference_cache.access_range r ~addr ~size ~write
+          end)
+        ops;
+      Reference_cache.drain r;
+      (* kernel side: batched port into the fused hierarchy *)
+      let wb2 = ref [] in
+      let c2 =
+        Controller.create ~on_write:(fun a -> wb2 := a :: !wb2) ~map:(mk_map ()) ~line_size:64 ()
+      in
+      let h = Hierarchy.create ~l1 ~l2 ~l3 ~controller:c2 () in
+      let port =
+        Kg_mem.Port.create ~capacity:5
+          ~sink:
+            (Kg_mem.Port.Cache_sim
+               {
+                 Kg_mem.Port.run = (fun b -> Hierarchy.access_run h b);
+                 drv_stats = (fun () -> Kg_mem.Port.zero_stats ~phases:8);
+               })
+          ()
+      in
+      List.iter
+        (fun (kind, (write, addr, size, tag)) ->
+          if kind = 0 then begin
+            Kg_mem.Port.flush port;
+            Hierarchy.drain h;
+            Hierarchy.reopen h
+          end
+          else begin
+            Kg_mem.Port.set_phase_tag port tag;
+            if write then Kg_mem.Port.write port ~addr ~size
+            else Kg_mem.Port.read port ~addr ~size
+          end)
+        ops;
+      Kg_mem.Port.flush port;
+      Hierarchy.drain h;
+      let dev_eq d =
+        Controller.reads c1 d = Controller.reads c2 d
+        && Controller.writes c1 d = Controller.writes c2 d
+        && Controller.writes_by_tag c1 d = Controller.writes_by_tag c2 d
+        && Controller.bytes_read c1 d = Controller.bytes_read c2 d
+        && Controller.bytes_written c1 d = Controller.bytes_written c2 d
+      in
+      Reference_cache.accesses r = Hierarchy.accesses h
+      && Reference_cache.hit_time_ns r = Hierarchy.hit_time_ns h
+      && Array.for_all2
+           (fun (a : Cache.stats) (b : Cache.stats) ->
+             a.Cache.hits = b.Cache.hits && a.Cache.misses = b.Cache.misses
+             && a.Cache.writebacks = b.Cache.writebacks)
+           (Reference_cache.level_stats r) (Hierarchy.level_stats h)
+      && dev_eq Kg_mem.Device.Dram && dev_eq Kg_mem.Device.Pcm
+      && !wb1 = !wb2
+      && Controller.access_time_ns c1 = Controller.access_time_ns c2
+      && Controller.access_energy_j c1 = Controller.access_energy_j c2)
+
 let hierarchy_conservation_qcheck =
   QCheck.Test.make ~name:"hierarchy: writebacks bounded, drain idempotent" ~count:50
     QCheck.(small_list (pair bool (int_bound 100_000)))
@@ -313,6 +479,7 @@ let () =
           Alcotest.test_case "lru order" `Quick test_cache_lru_order;
           Alcotest.test_case "write hit dirties" `Quick test_cache_write_hit_sets_dirty;
           Alcotest.test_case "invalidate all" `Quick test_cache_invalidate_all;
+          Alcotest.test_case "drain order ascending" `Quick test_invalidate_all_ascending;
           Alcotest.test_case "stats" `Quick test_cache_stats;
           Alcotest.test_case "creation validation" `Quick test_cache_create_validation;
         ] );
@@ -333,7 +500,12 @@ let () =
           Alcotest.test_case "capacity evictions" `Quick test_hierarchy_capacity_eviction_to_memory;
           Alcotest.test_case "level stats" `Quick test_hierarchy_stats_levels;
           Alcotest.test_case "drain fail-fast and reopen" `Quick test_hierarchy_drain_fail_fast;
+          Alcotest.test_case "coalescer: write upgrades read run" `Quick test_coalescer_write_upgrade;
+          Alcotest.test_case "coalescer: last writer's tag wins" `Quick test_coalescer_last_writer_tag;
+          Alcotest.test_case "coalescer: set conflict breaks run" `Quick
+            test_coalescer_set_conflict_breaks_run;
           QCheck_alcotest.to_alcotest batch_equivalence_qcheck;
+          QCheck_alcotest.to_alcotest differential_qcheck;
           QCheck_alcotest.to_alcotest hierarchy_conservation_qcheck;
         ] );
     ]
