@@ -32,7 +32,15 @@
    coalescer and lookahead prefetch pay off; the random storm is bound
    by host-memory latency on the simulator's own L2/L3 metadata and
    moves little. Pass --cache-kernel to run only this part;
-   BENCH_cache_kernel.json is a checked-in trajectory point. *)
+   BENCH_cache_kernel.json is a checked-in trajectory point.
+
+   Part 6 benchmarks the epoch-parallel multicore mutators: one
+   Count-mode run per domain count in {1, 2, 4}, timing the wall clock
+   of the Domain-parallel path against the inline interleaved oracle
+   (same op streams, no parallel generation) and reporting the
+   simulated execution-time scaling. Pass --parallel-mutators to run
+   only this part, and --parallel-json FILE for the JSON trajectory
+   point (BENCH_parallel_mutators.json in the repo). *)
 
 open Bechamel
 open Toolkit
@@ -374,6 +382,56 @@ let run_cache_kernel ?(json_out = None) () =
       Printf.printf "  wrote %s\n%!" path)
     json_out
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: epoch-parallel multicore mutators                           *)
+
+let run_parallel_mutators ?(json_out = None) () =
+  Printf.printf "\n== parallel mutators: domain scaling, parallel vs oracle ==\n%!";
+  let bench = Kg_workload.Descriptor.find "xalan" in
+  let go ~threads ~oracle =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Kg_sim.Run.run ~seed:11 ~scale:512 ~heap_scale:8 ~cap_mb:32 ~threads ~oracle
+        ~mode:Kg_sim.Run.Count Kg_sim.Run.pcm_only bench
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, wall1 = go ~threads:1 ~oracle:false in
+  Printf.printf "  %-24s wall %6.2fs  sim %.3fs\n%!" "domains=1" wall1 r1.Kg_sim.Run.time_s;
+  let rows =
+    List.map
+      (fun threads ->
+        let rp, wallp = go ~threads ~oracle:false in
+        let ro, wallo = go ~threads ~oracle:true in
+        if Kg_gc.Gc_stats.(rp.Kg_sim.Run.stats.ref_writes <> ro.Kg_sim.Run.stats.ref_writes)
+        then begin
+          Printf.eprintf "FAIL: parallel and oracle diverged at %d domains\n%!" threads;
+          exit 1
+        end;
+        let sim_speedup = r1.Kg_sim.Run.time_s /. rp.Kg_sim.Run.time_s in
+        Printf.printf
+          "  domains=%-2d               wall %6.2fs  (oracle %5.2fs)  sim %.3fs  %.2fx vs 1\n%!"
+          threads wallp wallo rp.Kg_sim.Run.time_s sim_speedup;
+        (threads, wallp, wallo, rp.Kg_sim.Run.time_s, sim_speedup))
+      [ 2; 4 ]
+  in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"bench\": \"parallel_mutators\",\n  \"benchmark\": \"xalan\",\n  \"cap_mb\": 32,\n  \"baseline\": { \"wall_s\": %.3f, \"sim_s\": %.4f },\n  \"domains\": [\n%s\n  ]\n}\n"
+        wall1 r1.Kg_sim.Run.time_s
+        (String.concat ",\n"
+           (List.map
+              (fun (threads, wallp, wallo, sim_s, speedup) ->
+                Printf.sprintf
+                  "    { \"domains\": %d, \"wall_s\": %.3f, \"oracle_wall_s\": %.3f, \"sim_s\": %.4f, \"sim_speedup\": %.3f }"
+                  threads wallp wallo sim_s speedup)
+              rows));
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+    json_out
+
 let () =
   let full =
     Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
@@ -396,6 +454,7 @@ let () =
   in
   let json_out = flag_arg "--ports-json" in
   let ck_json_out = flag_arg "--cache-kernel-json" in
+  let pm_json_out = flag_arg "--parallel-json" in
   (* Exit nonzero if the batched port's cache-sim stack is slower than
      the per-access closure baseline. The threshold is 0.95x, not 1.0x:
      the two stacks are within a few percent of each other on the
@@ -413,14 +472,17 @@ let () =
   in
   let ports_only = Array.exists (( = ) "--ports") Sys.argv in
   let ck_only = Array.exists (( = ) "--cache-kernel") Sys.argv in
-  if ports_only || ck_only then begin
+  let pm_only = Array.exists (( = ) "--parallel-mutators") Sys.argv in
+  if ports_only || ck_only || pm_only then begin
     if ports_only then check_port_speedup (run_ports ~json_out ());
-    if ck_only then run_cache_kernel ~json_out:ck_json_out ()
+    if ck_only then run_cache_kernel ~json_out:ck_json_out ();
+    if pm_only then run_parallel_mutators ~json_out:pm_json_out ()
   end
   else begin
     run_micro ();
     run_experiments full;
     check_port_speedup (run_ports ~json_out ());
     run_cache_kernel ~json_out:ck_json_out ();
+    run_parallel_mutators ~json_out:pm_json_out ();
     run_engine jobs
   end

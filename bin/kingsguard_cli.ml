@@ -53,7 +53,8 @@ let print_result (r : R.result) simulate =
   Printf.printf "heap: DRAM avg/max %.1f/%.1f MB, PCM avg/max %.1f/%.1f MB, meta %.1f MB\n"
     r.R.dram_avg_mb r.R.dram_max_mb r.R.pcm_avg_mb r.R.pcm_max_mb r.R.meta_mb
 
-let run_cmd bench collector simulate scale heap_scale cap_mb seed threshold trigger observer =
+let run_cmd bench collector simulate scale heap_scale cap_mb seed domains schedule_seed
+    threshold trigger observer =
   match spec_of_string collector with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok spec ->
@@ -73,7 +74,9 @@ let run_cmd bench collector simulate scale heap_scale cap_mb seed threshold trig
       1
     | d ->
       let mode = if simulate then R.Simulate else R.Count in
-      let r = R.run ~seed ~scale ~heap_scale ~cap_mb ~mode spec d in
+      let r =
+        R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~schedule_seed ~mode spec d
+      in
       print_result r simulate;
       0)
 
@@ -105,6 +108,17 @@ let seed_arg =
   let doc = "PRNG seed (runs are deterministic given a seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Simulated mutator domains; above 1 the run executes the deterministic \
+     epoch-parallel protocol on real domains."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let schedule_seed_arg =
+  let doc = "Seed for the deterministic merge schedule of multi-domain runs." in
+  Arg.(value & opt int 0 & info [ "schedule-seed" ] ~doc)
+
 let threshold_arg =
   let doc = "KG-W extension: writes needed before an object counts as written (default 1)." in
   Arg.(value & opt int 1 & info [ "write-threshold" ] ~doc)
@@ -120,7 +134,8 @@ let observer_arg =
 let run_t =
   Term.(
     const run_cmd $ bench_arg $ collector_arg $ simulate_arg $ scale_arg $ heap_scale_arg
-    $ cap_arg $ seed_arg $ threshold_arg $ trigger_arg $ observer_arg)
+    $ cap_arg $ seed_arg $ domains_arg $ schedule_seed_arg $ threshold_arg $ trigger_arg
+    $ observer_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check: audit heap invariants across benchmarks x collectors         *)

@@ -3,7 +3,10 @@ module E = Kg_sim.Experiments
 module R = Kg_sim.Run
 module GS = Kg_gc.Gc_stats
 
-let format_version = 1
+(* v2: multicore mutator domains — threaded runs now simulate real
+   domain interleavings (per-domain nurseries, ports, sharded mature
+   allocation), so cached threaded results from v1 are stale. *)
+let format_version = 2
 let default_dir = Filename.concat "results" ".cache"
 
 type t = { dir : string }

@@ -57,3 +57,10 @@ let counting ~map =
   (Port.create ~sink:(Port.Counting (map, c)) (), c)
 
 let null ?capacity () = Port.create ?capacity ~sink:Port.Null ()
+
+(* Per-domain mutator ports in front of [base]'s sink. The group
+   shares base's sink and an issue counter, so merged deliveries land
+   on the same devices as runtime-side traffic through [base] while
+   preserving one global issue order across domains. *)
+let domain_group base n =
+  Port.sequenced_group ~capacity:(Port.capacity base) ~sink:(Port.sink base) n

@@ -63,3 +63,10 @@ val counting : map:Kg_mem.Address_map.t -> t * counters
 
 val null : ?capacity:int -> unit -> t
 (** Discards traffic entirely; for tests exercising pure heap logic. *)
+
+val domain_group : t -> int -> t array
+(** [domain_group base n] builds [n] per-domain mutator ports sharing
+    [base]'s sink behind a {!Kg_mem.Port.sequenced_group}: every
+    record is stamped with a group-wide issue counter and any flush
+    delivers all domains' buffered records merged by stamp, so the
+    sink observes one deterministic total order. *)

@@ -9,11 +9,23 @@ type t = {
   entries : entry Vec.t;
   mutable cursor : int;
   mutable total : int;
+  (* Multicore front end: each mutator domain records barrier hits
+     into its own pending buffer (its slice of the metadata store) and
+     a handshake at the start of a stop-the-world section publishes
+     every pending buffer into [entries] in domain order. Domain 0 of
+     a single-domain runtime never goes through here — [insert] is the
+     sequential fast path and stays byte-identical to the pre-domain
+     code. *)
+  domains : int;
+  pending : entry Vec.t array;
+  pending_cursor : int array;
+  mutable handshakes : int;
 }
 
 let entry_bytes = Kg_heap.Layout.word
 
-let create ~name ~buffer_base ~buffer_bytes =
+let create ?(domains = 1) ~name ~buffer_base ~buffer_bytes () =
+  if domains <= 0 then invalid_arg "Remset.create: domains must be positive";
   {
     name;
     buffer_base;
@@ -21,6 +33,10 @@ let create ~name ~buffer_base ~buffer_bytes =
     entries = Vec.create ();
     cursor = 0;
     total = 0;
+    domains;
+    pending = Array.init domains (fun _ -> Vec.create ());
+    pending_cursor = Array.make domains 0;
+    handshakes = 0;
   }
 
 let name t = t.name
@@ -31,6 +47,44 @@ let insert t ~slot_addr ~target =
   t.cursor <- (t.cursor + 1) mod t.buffer_slots;
   t.total <- t.total + 1;
   addr
+
+(* Per-domain record: the entry lands in [domain]'s pending buffer and
+   the metadata store is sliced so each domain cycles through its own
+   region — no two domains ever write the same SSB word between
+   handshakes. *)
+let record t ~domain ~slot_addr ~target =
+  if domain < 0 || domain >= t.domains then
+    invalid_arg "Remset.record: bad domain";
+  Vec.push t.pending.(domain) { slot_addr; target };
+  let slice = max 1 (t.buffer_slots / t.domains) in
+  let cur = t.pending_cursor.(domain) in
+  let addr = t.buffer_base + (((domain * slice) + cur) * entry_bytes) in
+  t.pending_cursor.(domain) <- (cur + 1) mod slice;
+  t.total <- t.total + 1;
+  addr
+
+(* Publish all pending buffers into the shared set, in domain order —
+   the deterministic half of the stop-the-world handshake. Returns the
+   number of entries published. *)
+let handshake t =
+  let published = ref 0 in
+  for d = 0 to t.domains - 1 do
+    let p = t.pending.(d) in
+    Vec.iter (fun e -> Vec.push t.entries e) p;
+    published := !published + Vec.length p;
+    Vec.clear p
+  done;
+  t.handshakes <- t.handshakes + 1;
+  !published
+
+let pending_total t =
+  let n = ref 0 in
+  Array.iter (fun p -> n := !n + Vec.length p) t.pending;
+  !n
+
+let pending_length t ~domain = Vec.length t.pending.(domain)
+let handshakes t = t.handshakes
+let domains t = t.domains
 
 let length t = Vec.length t.entries
 let iter t f = Vec.iter f t.entries

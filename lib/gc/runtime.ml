@@ -23,10 +23,18 @@ type space_usage = {
 type t = {
   cfg : Gc_config.t;
   mem : Mem_iface.t;
+  (* One port per mutator domain. With a single domain this is [| mem |]
+     — the pre-domain path, bit for bit. With N > 1 the slots come from
+     {!Mem_iface.domain_group}: records are stamped with a group-wide
+     issue counter and every flush delivers all domains' traffic merged
+     by stamp, so the sink order is independent of which buffer fills
+     first. *)
+  mut_mems : Mem_iface.t array;
+  domains : int;
   map : Kg_mem.Address_map.t;
   stats : Gc_stats.t;
   rng : Rng.t;
-  nursery : Bump_space.t;
+  nurseries : Bump_space.t array;  (* one private nursery per domain *)
   observer : Bump_space.t option;
   mature_dram : Immix_space.t option;
   mature_pcm : Immix_space.t;
@@ -53,8 +61,12 @@ type t = {
 let config t = t.cfg
 let stats t = t.stats
 let now t = t.now
+let domains t = t.domains
 let is_young (o : O.t) = o.space <= sp_observer
 let in_nursery (o : O.t) = o.space = sp_nursery
+
+(* The port a given mutator domain issues its traffic through. *)
+let[@inline] mut_mem t domain = t.mut_mems.(domain)
 
 let object_in_pcm t (o : O.t) =
   Kg_mem.Address_map.kind_of t.map o.addr = Kg_mem.Device.Pcm
@@ -77,10 +89,16 @@ let mem t = t.mem
 
 (* Push any buffered port records to the sink; callers reading device
    counters or controller state mid-run must flush first. The runtime
-   itself flushes before every gc_hook invocation. *)
-let flush_mem t = Mem_iface.flush t.mem
+   itself flushes before every gc_hook invocation. Domain ports drain
+   first (one merged delivery), then the runtime's own port, matching
+   program order: mutator records were issued before whatever the
+   caller is about to account. *)
+let flush_mem t =
+  if t.domains > 1 then Mem_iface.flush t.mut_mems.(0);
+  Mem_iface.flush t.mem
 
-let nursery_space t = t.nursery
+let nursery_space t = t.nurseries.(0)
+let nursery_spaces t = t.nurseries
 let observer_space t = t.observer
 let mature_pcm_space t = t.mature_pcm
 let mature_dram_space t = t.mature_dram
@@ -95,7 +113,8 @@ let obs_remset t = t.obs_remset
 
 let line_mark_chunk_bytes = Immix_space.meta_bytes_per_block * (Layout.mature_region / Layout.block)
 
-let create ~config:cfg ~mem ~map ~seed () =
+let create ?(domains = 1) ~config:cfg ~mem ~map ~seed () =
+  if domains <= 0 then invalid_arg "Runtime.create: domains must be positive";
   let open Kg_mem in
   let arena_of_region kind =
     match kind with
@@ -138,9 +157,16 @@ let create ~config:cfg ~mem ~map ~seed () =
   let on_dram_region ~base:_ =
     Vec.push mature_dram_meta (Meta_space.alloc_table meta line_mark_chunk_bytes)
   in
-  let nursery =
-    Bump_space.create ~id:sp_nursery ~name:"nursery" ~arena:dram_arena
-      ~size:cfg.Gc_config.nursery_bytes
+  (* Per-domain private nurseries splitting the configured nursery
+     budget, all under the one [sp_nursery] space id. A single domain
+     gets one nursery of the full size at the same arena offset as the
+     pre-domain runtime — the layout (and so every downstream address)
+     is unchanged. *)
+  let nurseries =
+    Array.init domains (fun d ->
+        let name = if d = 0 then "nursery" else Printf.sprintf "nursery-%d" d in
+        Bump_space.create ~id:sp_nursery ~name ~arena:dram_arena
+          ~size:(cfg.Gc_config.nursery_bytes / domains))
   in
   let has_observer = Gc_config.has_observer cfg in
   let observer =
@@ -154,12 +180,12 @@ let create ~config:cfg ~mem ~map ~seed () =
     if has_observer then
       Some
         (Immix_space.create ~id:sp_mature_dram ~name:"mature-dram" ~arena:dram_arena
-           ~on_new_region:on_dram_region ())
+           ~on_new_region:on_dram_region ~shards:domains ())
     else None
   in
   let mature_pcm =
     Immix_space.create ~id:sp_mature_pcm ~name:"mature-pcm" ~arena:main_arena
-      ~on_new_region:on_pcm_region ()
+      ~on_new_region:on_pcm_region ~shards:domains ()
   in
   let los_dram =
     if has_observer then
@@ -169,22 +195,30 @@ let create ~config:cfg ~mem ~map ~seed () =
   let los_pcm = Los.create ~id:sp_los_pcm ~name:"los-pcm" ~arena:main_arena in
   let remset_buffer = Meta_space.alloc_table meta (Units.mib / 4) in
   let gen_remset =
-    Remset.create ~name:"gen" ~buffer_base:remset_buffer ~buffer_bytes:(Units.mib / 4)
+    Remset.create ~domains ~name:"gen" ~buffer_base:remset_buffer
+      ~buffer_bytes:(Units.mib / 4) ()
   in
   let obs_remset =
     if has_observer then begin
       let b = Meta_space.alloc_table meta (Units.mib / 4) in
-      Some (Remset.create ~name:"observer" ~buffer_base:b ~buffer_bytes:(Units.mib / 4))
+      Some
+        (Remset.create ~domains ~name:"observer" ~buffer_base:b
+           ~buffer_bytes:(Units.mib / 4) ())
     end
     else None
+  in
+  let mut_mems =
+    if domains = 1 then [| mem |] else Mem_iface.domain_group mem domains
   in
   {
     cfg;
     mem;
+    mut_mems;
+    domains;
     map;
     stats = Gc_stats.create ();
     rng = Rng.of_seed seed;
-    nursery;
+    nurseries;
     observer;
     mature_dram;
     mature_pcm;
@@ -213,7 +247,8 @@ let create ~config:cfg ~mem ~map ~seed () =
 
 let usage t =
   {
-    nursery_used = Bump_space.used_bytes t.nursery;
+    nursery_used =
+      Array.fold_left (fun a n -> a + Bump_space.used_bytes n) 0 t.nurseries;
     observer_used = (match t.observer with Some o -> Bump_space.used_bytes o | None -> 0);
     mature_dram_used = (match t.mature_dram with Some s -> Immix_space.live_bytes s | None -> 0);
     mature_pcm_used = Immix_space.live_bytes t.mature_pcm;
@@ -237,7 +272,7 @@ let dram_used t =
   let u = usage t in
   let add_if_dram base v acc = if space_kind_is_pcm t base then acc else acc + v in
   let acc = 0 in
-  let acc = add_if_dram (Bump_space.base t.nursery) u.nursery_used acc in
+  let acc = add_if_dram (Bump_space.base t.nurseries.(0)) u.nursery_used acc in
   let acc =
     match t.observer with Some o -> add_if_dram (Bump_space.base o) u.observer_used acc | None -> acc
   in
@@ -339,19 +374,27 @@ let promote_nursery_object t (o : O.t) =
 let collect_nursery t =
   let st = t.stats in
   st.Gc_stats.nursery_gcs <- st.Gc_stats.nursery_gcs + 1;
+  (* A minor collection is stop-the-world across every domain: all
+     private nurseries evacuate in domain order before the shared
+     remset is consumed. *)
   let survived = ref 0 in
-  Vec.iter
-    (fun (o : O.t) ->
-      if O.is_live o t.now then begin
-        promote_nursery_object t o;
-        survived := !survived + o.size;
-        st.Gc_stats.copied_bytes_nursery <- st.Gc_stats.copied_bytes_nursery + o.size
-      end)
-    (Bump_space.objects t.nursery);
+  let used =
+    max 1 (Array.fold_left (fun a n -> a + Bump_space.used_bytes n) 0 t.nurseries)
+  in
+  Array.iter
+    (fun nursery ->
+      Vec.iter
+        (fun (o : O.t) ->
+          if O.is_live o t.now then begin
+            promote_nursery_object t o;
+            survived := !survived + o.size;
+            st.Gc_stats.copied_bytes_nursery <- st.Gc_stats.copied_bytes_nursery + o.size
+          end)
+        (Bump_space.objects nursery);
+      Bump_space.reset nursery)
+    t.nurseries;
   st.Gc_stats.nursery_survived_bytes <- st.Gc_stats.nursery_survived_bytes + !survived;
-  let used = max 1 (Bump_space.used_bytes t.nursery) in
   t.recent_survival <- 0.5 *. (t.recent_survival +. (float_of_int !survived /. float_of_int used));
-  Bump_space.reset t.nursery;
   process_remset t t.gen_remset;
   (* LOO decision (§4.2.4): enable nursery allocation of large objects
      when large allocation outpaces the nursery. With hysteresis: once
@@ -577,9 +620,23 @@ let major_gc_inner t =
   Mem_iface.flush t.mem;
   t.gc_hook Phase.Major_gc
 
+(* Entry into any stop-the-world section. Every domain's buffered port
+   records drain first (one merged, stamp-ordered delivery — flushing
+   any group member flushes them all), then each domain publishes its
+   pending remset entries in domain order. Only after the handshake may
+   a collection consume remset entries; {!Verify} flags pending entries
+   still unpublished when a collection phase ends. *)
+let stw_prologue t =
+  if t.domains > 1 then begin
+    Mem_iface.flush t.mut_mems.(0);
+    ignore (Remset.handshake t.gen_remset);
+    Option.iter (fun rs -> ignore (Remset.handshake rs)) t.obs_remset
+  end
+
 let run_major t =
   if not t.in_major then begin
     t.in_major <- true;
+    stw_prologue t;
     major_gc_inner t;
     Mem_iface.set_phase t.mem Phase.Application;
     t.in_major <- false;
@@ -607,10 +664,14 @@ let maybe_major t =
    for KG-W, a plain nursery GC when the observer has room for the
    expected survivors, otherwise a full observer collection. *)
 let young_gc t =
+  stw_prologue t;
   (match t.observer with
   | Some obs ->
     let expected =
-      int_of_float (t.recent_survival *. float_of_int (Bump_space.used_bytes t.nursery))
+      int_of_float
+        (t.recent_survival
+        *. float_of_int
+             (Array.fold_left (fun a n -> a + Bump_space.used_bytes n) 0 t.nurseries))
     in
     if Bump_space.free_bytes obs < expected * 3 / 2 then collect_observer t
     else begin
@@ -634,13 +695,14 @@ let young_gc t =
 (* ------------------------------------------------------------------ *)
 (* Mutator interface                                                   *)
 
-let alloc_large t (o : O.t) =
+let alloc_large t ~domain (o : O.t) =
   let st = t.stats in
   st.Gc_stats.large_allocs <- st.Gc_stats.large_allocs + 1;
   t.large_alloc_since_gc <- t.large_alloc_since_gc + o.size;
+  let nursery = t.nurseries.(domain) in
   let in_nursery_ok =
-    t.loo_enabled && o.size < Bump_space.free_bytes t.nursery / 2
-    && Bump_space.alloc t.nursery o
+    t.loo_enabled && o.size < Bump_space.free_bytes nursery / 2
+    && Bump_space.alloc nursery o
   in
   if in_nursery_ok then begin
     st.Gc_stats.large_allocs_in_nursery <- st.Gc_stats.large_allocs_in_nursery + 1;
@@ -649,10 +711,10 @@ let alloc_large t (o : O.t) =
   else if not (Los.alloc (los_for_large t) o) then
     failwith "Runtime: large object space exhausted"
 
-let rec alloc_small t (o : O.t) =
-  if not (Bump_space.alloc t.nursery o) then begin
+let rec alloc_small t ~domain (o : O.t) =
+  if not (Bump_space.alloc t.nurseries.(domain) o) then begin
     young_gc t;
-    alloc_small t o
+    alloc_small t ~domain o
   end
   else begin
     t.stats.Gc_stats.nursery_alloc_bytes <- t.stats.Gc_stats.nursery_alloc_bytes + o.size;
@@ -664,11 +726,11 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
-let alloc t ~size ~heat ~death ~ref_fields =
+let alloc ?(domain = 0) t ~size ~heat ~death ~ref_fields =
   let size = Layout.align_object_size size in
   let o = O.make ~id:(fresh_id t) ~size ~heat ~death ~ref_fields in
-  if O.is_large o then alloc_large t o else alloc_small t o;
-  O.stream_init t.mem o;
+  if O.is_large o then alloc_large t ~domain o else alloc_small t ~domain o;
+  O.stream_init (mut_mem t domain) o;
   t.now <- t.now +. float_of_int size;
   maybe_major t;
   t.event_hook (Trace.Alloc { id = o.id; size = o.size; heat; death; ref_fields });
@@ -704,68 +766,82 @@ let classify_app_write t (o : O.t) slot_addr =
     st.Gc_stats.app_write_bytes_pcm <- st.Gc_stats.app_write_bytes_pcm + Layout.word
 
 (* The KG-W monitoring slow path (Figure 4, lines 13-17): every store
-   to a non-nursery object also sets the write word in its header. *)
-let monitor_write t (o : O.t) =
+   to a non-nursery object also sets the write word in its header.
+   [mem] is the issuing domain's port (the runtime's own port when the
+   GC itself monitors). *)
+let monitor_write ?mem t (o : O.t) =
+  let mem = Option.value mem ~default:t.mem in
   if o.space <> sp_nursery then begin
     (* The write word records a count; "written" for placement means
        reaching the configured threshold (1 reproduces the paper's
        single bit; higher values are the counting extension). *)
     o.epoch_writes <- o.epoch_writes + 1;
     if o.epoch_writes >= t.cfg.Gc_config.write_threshold then o.written <- true;
-    Mem_iface.write t.mem ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
+    Mem_iface.write mem ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
     t.stats.Gc_stats.monitor_header_writes <- t.stats.Gc_stats.monitor_header_writes + 1
   end
 
-let write_ref t ~src ~tgt =
+(* Remset entry via the path matching the runtime's domain count: the
+   sequential fast path publishes directly into the shared set; a
+   multicore barrier records into the issuing domain's pending buffer,
+   published at the next stop-the-world handshake. *)
+let remset_note t rs ~domain ~slot_addr ~target =
+  if t.domains = 1 then Remset.insert rs ~slot_addr ~target
+  else Remset.record rs ~domain ~slot_addr ~target
+
+let write_ref ?(domain = 0) t ~src ~tgt =
   t.event_hook (Trace.Write_ref { src = src.O.id; tgt = tgt.O.id });
   let st = t.stats in
+  let mem = mut_mem t domain in
   st.Gc_stats.ref_writes <- st.Gc_stats.ref_writes + 1;
   let slot_addr = O.field_addr src (Rng.int t.rng 64) in
   classify_app_write t src slot_addr;
   let slow = ref false in
   if src.O.space <> sp_nursery && tgt.O.space = sp_nursery then begin
-    let maddr = Remset.insert t.gen_remset ~slot_addr ~target:tgt in
-    Mem_iface.write t.mem ~addr:maddr ~size:Layout.word;
+    let maddr = remset_note t t.gen_remset ~domain ~slot_addr ~target:tgt in
+    Mem_iface.write mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.gen_remset_inserts <- st.Gc_stats.gen_remset_inserts + 1;
     slow := true
   end;
   (match t.obs_remset with
   | Some rs when src.O.space > sp_observer && tgt.O.space <= sp_observer ->
-    let maddr = Remset.insert rs ~slot_addr ~target:tgt in
-    Mem_iface.write t.mem ~addr:maddr ~size:Layout.word;
+    let maddr = remset_note t rs ~domain ~slot_addr ~target:tgt in
+    Mem_iface.write mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.obs_remset_inserts <- st.Gc_stats.obs_remset_inserts + 1;
     slow := true
   | _ -> ());
   (match t.cfg.Gc_config.collector with
   | Gc_config.Kg_writers _ ->
-    monitor_write t src;
+    monitor_write ~mem t src;
     slow := true
   | _ -> ());
   if not !slow then st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1;
-  Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word
+  Mem_iface.write mem ~addr:slot_addr ~size:Layout.word
 
-let write_prim t (o : O.t) =
+let write_prim ?(domain = 0) t (o : O.t) =
   t.event_hook (Trace.Write_prim { obj = o.id });
   let st = t.stats in
+  let mem = mut_mem t domain in
   st.Gc_stats.prim_writes <- st.Gc_stats.prim_writes + 1;
   let slot_addr = O.field_addr o (Rng.int t.rng 64) in
   classify_app_write t o slot_addr;
   (match t.cfg.Gc_config.collector with
-  | Gc_config.Kg_writers { pm = true; _ } -> monitor_write t o
+  | Gc_config.Kg_writers { pm = true; _ } -> monitor_write ~mem t o
   | _ -> st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1);
-  Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word
+  Mem_iface.write mem ~addr:slot_addr ~size:Layout.word
 
-let read_obj t (o : O.t) =
+let read_obj ?(domain = 0) t (o : O.t) =
   t.event_hook (Trace.Read { obj = o.id });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + 1;
-  Mem_iface.read t.mem ~addr:(O.field_addr o (Rng.int t.rng 64)) ~size:Layout.word
+  Mem_iface.read (mut_mem t domain) ~addr:(O.field_addr o (Rng.int t.rng 64))
+    ~size:Layout.word
 
-let read_burst t (o : O.t) n =
+let read_burst ?(domain = 0) t (o : O.t) n =
   t.event_hook (Trace.Read_burst { obj = o.id; words = n });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + n;
   let addr = O.field_addr o (Rng.int t.rng 64) in
   let size = min (n * Layout.word) (o.size - (addr - o.addr)) in
-  Mem_iface.read t.mem ~addr ~size:(max Layout.word size)
+  Mem_iface.read (mut_mem t domain) ~addr ~size:(max Layout.word size)
 
 let flush_retirement_stats t =
   let st = t.stats in
@@ -776,7 +852,7 @@ let flush_retirement_stats t =
   Los.iter t.los_pcm each;
   match t.los_dram with Some l -> Los.iter l each | None -> ()
 
-let nursery_free t = Bump_space.free_bytes t.nursery
+let nursery_free ?(domain = 0) t = Bump_space.free_bytes t.nurseries.(domain)
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -808,7 +884,15 @@ let check_invariants t =
     go sorted
   in
   let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
-  check_population "nursery" sp_nursery (Bump_space.objects t.nursery) >>= fun () ->
+  let each_nursery f =
+    Array.to_list t.nurseries
+    |> List.fold_left
+         (fun acc n -> match acc with Error _ -> acc | Ok () -> f n)
+         (Ok ())
+  in
+  each_nursery (fun n ->
+      check_population (Bump_space.name n) sp_nursery (Bump_space.objects n))
+  >>= fun () ->
   (match t.observer with
   | Some obs -> check_population "observer" sp_observer (Bump_space.objects obs)
   | None -> Ok ())
@@ -818,7 +902,8 @@ let check_invariants t =
   | Some s -> check_population "mature-dram" sp_mature_dram (Immix_space.objects s)
   | None -> Ok ())
   >>= fun () ->
-  no_overlap "nursery" (Bump_space.objects t.nursery) >>= fun () ->
+  each_nursery (fun n -> no_overlap (Bump_space.name n) (Bump_space.objects n))
+  >>= fun () ->
   no_overlap "mature-pcm" (Immix_space.objects t.mature_pcm) >>= fun () ->
   (match t.mature_dram with
   | Some s -> no_overlap "mature-dram" (Immix_space.objects s)

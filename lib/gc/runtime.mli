@@ -35,6 +35,7 @@ type space_usage = {
 }
 
 val create :
+  ?domains:int ->
   config:Gc_config.t ->
   mem:Mem_iface.t ->
   map:Kg_mem.Address_map.t ->
@@ -43,7 +44,15 @@ val create :
   t
 (** The address map must have a DRAM region for Kingsguard configs and
     at least one region matching each space placement. For GenImmix the
-    single region of the map hosts every space. *)
+    single region of the map hosts every space.
+
+    [domains] (default 1) is the number of mutator domains. Each
+    domain gets a private nursery (an equal slice of the configured
+    nursery budget) and a private memory port from
+    {!Mem_iface.domain_group}; collections are stop-the-world across
+    all domains and begin with a port flush + remembered-set handshake
+    (see {!Remset}). With one domain the runtime is byte-identical to
+    the pre-domain implementation. *)
 
 val config : t -> Gc_config.t
 val stats : t -> Gc_stats.t
@@ -51,6 +60,7 @@ val now : t -> float
 (** Allocation clock: bytes allocated so far. *)
 
 val alloc :
+  ?domain:int ->
   t ->
   size:int ->
   heat:Kg_heap.Object_model.heat ->
@@ -59,7 +69,8 @@ val alloc :
   Kg_heap.Object_model.t
 (** Allocate and zero-initialise an object, collecting first if the
     nursery is full. [death] is an absolute allocation-clock stamp.
-    Objects above 8 KB take the large-object path. *)
+    Objects above 8 KB take the large-object path. [domain] (default
+    0) selects the allocating domain's nursery and port. *)
 
 val alloc_boot :
   t ->
@@ -73,19 +84,25 @@ val alloc_boot :
     image of a Java-in-Java VM. *)
 
 val write_ref :
-  t -> src:Kg_heap.Object_model.t -> tgt:Kg_heap.Object_model.t -> unit
+  ?domain:int ->
+  t ->
+  src:Kg_heap.Object_model.t ->
+  tgt:Kg_heap.Object_model.t ->
+  unit
 (** A reference store into a field of [src] pointing at [tgt], running
     the Figure 4 barrier: generational and observer remembered-set
-    insertion plus (KG-W) write-word monitoring. *)
+    insertion plus (KG-W) write-word monitoring. With multiple domains
+    the remset entry lands in [domain]'s pending buffer and all
+    traffic goes through [domain]'s port. *)
 
-val write_prim : t -> Kg_heap.Object_model.t -> unit
+val write_prim : ?domain:int -> t -> Kg_heap.Object_model.t -> unit
 (** A primitive store into [src]; monitored only when the config has
     primitive monitoring (KG-W vs KG-W–PM). *)
 
-val read_obj : t -> Kg_heap.Object_model.t -> unit
+val read_obj : ?domain:int -> t -> Kg_heap.Object_model.t -> unit
 (** A field read (load traffic only). *)
 
-val read_burst : t -> Kg_heap.Object_model.t -> int -> unit
+val read_burst : ?domain:int -> t -> Kg_heap.Object_model.t -> int -> unit
 (** [read_burst t o n] models streaming [n] consecutive words out of
     [o] (array traversal): one contiguous load, [n] read events. *)
 
@@ -131,9 +148,18 @@ val flush_retirement_stats : t -> unit
     Figure 2 concentration statistic (normally only captured at
     death). Call once, at the end of a run. *)
 
-val nursery_free : t -> int
+val nursery_free : ?domain:int -> t -> int
 (** Allocation headroom before the next nursery collection (the
-    lifetime model clamps short-lived objects against it). *)
+    lifetime model clamps short-lived objects against it), for the
+    given domain's private nursery. *)
+
+val domains : t -> int
+(** Number of mutator domains the runtime was created with. *)
+
+val mut_mem : t -> int -> Mem_iface.t
+(** The memory port a given domain issues its traffic through —
+    [mem t] itself for a single-domain runtime, a member of a
+    sequenced port group otherwise. *)
 
 (** {2 Introspection}
 
@@ -159,6 +185,11 @@ val flush_mem : t -> unit
     or controller state at other points must flush first. *)
 
 val nursery_space : t -> Kg_heap.Bump_space.t
+(** Domain 0's nursery (the only one for a single-domain runtime). *)
+
+val nursery_spaces : t -> Kg_heap.Bump_space.t array
+(** All per-domain nurseries, in domain order. *)
+
 val observer_space : t -> Kg_heap.Bump_space.t option
 val mature_pcm_space : t -> Kg_heap.Immix_space.t
 val mature_dram_space : t -> Kg_heap.Immix_space.t option

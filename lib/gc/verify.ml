@@ -42,7 +42,8 @@ let populations rt =
   in
   List.concat
     [
-      [ bump "nursery" (Runtime.nursery_space rt) ];
+      (Runtime.nursery_spaces rt |> Array.to_list
+      |> List.map (fun sp -> bump (Bump.name sp) sp));
       (match Runtime.observer_space rt with Some s -> [ bump "observer" s ] | None -> []);
       (match Runtime.mature_dram_space rt with Some s -> [ immix "mature-dram" s ] | None -> []);
       [ immix "mature-pcm" (Runtime.mature_pcm_space rt) ];
@@ -127,7 +128,9 @@ let audit ?counters ?(phase = Phase.Application) rt =
       add "bump-contiguity" "%s used_bytes %d disagrees with resident extent %d" name
         (Bump.used_bytes sp) extent
   in
-  check_bump "nursery" (Runtime.nursery_space rt);
+  Array.iter
+    (fun sp -> check_bump (Bump.name sp) sp)
+    (Runtime.nursery_spaces rt);
   Option.iter (check_bump "observer") (Runtime.observer_space rt);
 
   (* I3: Immix line/block metadata is consistent with the resident
@@ -197,7 +200,20 @@ let audit ?counters ?(phase = Phase.Application) rt =
   | Phase.Nursery_gc | Phase.Observer_gc | Phase.Major_gc ->
     if Remset.length gen <> 0 then
       add "remset" "generational remset holds %d entries after a %s" (Remset.length gen)
-        (Phase.to_string phase)
+        (Phase.to_string phase);
+    (* Missed handshake: with multiple domains, every stop-the-world
+       section must begin by publishing all per-domain pending entries
+       — any still buffered when the collection ends were invisible to
+       the collector and could have been dropped as roots. *)
+    if Remset.pending_total gen <> 0 then
+      add "remset-handshake" "generational remset has %d unpublished pending entries after a %s"
+        (Remset.pending_total gen) (Phase.to_string phase);
+    Option.iter
+      (fun rs ->
+        if Remset.pending_total rs <> 0 then
+          add "remset-handshake" "observer remset has %d unpublished pending entries after a %s"
+            (Remset.pending_total rs) (Phase.to_string phase))
+      obs
   | Phase.Application | Phase.Migration -> ());
   (match (phase, obs) with
   | (Phase.Observer_gc | Phase.Major_gc), Some rs ->

@@ -3,20 +3,30 @@ type t = {
   base : int;
   limit : int;
   mutable cursor : int;
+  (* Spaces shared across mutator domains (the sharded Immix mature
+     space, the large object spaces) may grow from different domains;
+     the bump cursor is the only mutable word, so one lock suffices. *)
+  lock : Mutex.t;
 }
 
-let create ~kind ~base ~size = { kind; base; limit = base + size; cursor = base }
+let create ~kind ~base ~size =
+  { kind; base; limit = base + size; cursor = base; lock = Mutex.create () }
 
 let kind t = t.kind
 
 let reserve t bytes =
   let bytes = Layout.align_up bytes Layout.page in
-  if t.cursor + bytes > t.limit then
+  Mutex.lock t.lock;
+  if t.cursor + bytes > t.limit then begin
+    let left = t.limit - t.cursor in
+    Mutex.unlock t.lock;
     failwith
       (Printf.sprintf "Arena.reserve: %s arena exhausted (%d requested, %d left)"
-         (Kg_mem.Device.kind_to_string t.kind) bytes (t.limit - t.cursor));
+         (Kg_mem.Device.kind_to_string t.kind) bytes left)
+  end;
   let addr = t.cursor in
   t.cursor <- t.cursor + bytes;
+  Mutex.unlock t.lock;
   addr
 
 let reserved_bytes t = t.cursor - t.base

@@ -16,6 +16,21 @@ type sweep_stats = {
   marked_lines : int;
 }
 
+(* One bump cursor into the block currently owned by a shard. Each
+   mutator domain allocates through its own shard under the shard's
+   lock; shards contend only on the shared block registry (the avail
+   list, arena growth, the population vector) — the "sharded
+   allocation lock" design. A single shard is exactly the pre-shard
+   single-cursor space: the same blocks are taken in the same order,
+   so single-domain address streams are unchanged. *)
+type shard = {
+  mutable cur : block option;
+  mutable scan_line : int;  (* next line to consider in [cur] *)
+  mutable cursor : int;
+  mutable cursor_limit : int;
+  lock : Mutex.t;
+}
+
 type t = {
   id : int;
   name : string;
@@ -24,10 +39,8 @@ type t = {
   blocks : block Vec.t;
   mutable region_bases : int array;  (* sorted, for addr -> block lookup *)
   mutable avail : block list;  (* allocation order: recyclable then free *)
-  mutable cur : block option;
-  mutable scan_line : int;  (* next line to consider in [cur] *)
-  mutable cursor : int;
-  mutable cursor_limit : int;
+  shards : shard array;
+  registry : Mutex.t;  (* guards avail, arena growth, objects, live_bytes *)
   objects : Object_model.t Vec.t;
   mutable live_bytes : int;
   mutable allocs_since_sweep : int;
@@ -35,7 +48,11 @@ type t = {
 
 let blocks_per_region = Layout.mature_region / Layout.block
 
-let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) () =
+let fresh_shard () =
+  { cur = None; scan_line = 0; cursor = 0; cursor_limit = 0; lock = Mutex.create () }
+
+let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) ?(shards = 1) () =
+  if shards <= 0 then invalid_arg "Immix_space.create: shards must be positive";
   {
     id;
     name;
@@ -44,10 +61,8 @@ let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) () =
     blocks = Vec.create ();
     region_bases = [||];
     avail = [];
-    cur = None;
-    scan_line = 0;
-    cursor = 0;
-    cursor_limit = 0;
+    shards = Array.init shards (fun _ -> fresh_shard ());
+    registry = Mutex.create ();
     objects = Vec.create ();
     live_bytes = 0;
     allocs_since_sweep = 0;
@@ -93,49 +108,71 @@ let next_free_run b from =
     let rec find_end i = if i >= n || Bytes.get b.line_marks i <> '\000' then i else find_end (i + 1) in
     Some (start, find_end start)
 
-let rec refill t =
-  match t.cur with
+(* Take the next block off the shared registry, growing the arena by a
+   region if the list is dry. Caller holds [t.registry]. *)
+let rec take_avail t =
+  match t.avail with
+  | b :: rest ->
+    t.avail <- rest;
+    Some b
+  | [] ->
+    if Arena.remaining t.arena >= Layout.mature_region then begin
+      grow_region t;
+      take_avail t
+    end
+    else None
+
+let rec refill t sh =
+  match sh.cur with
   | Some b -> begin
-    match next_free_run b t.scan_line with
+    match next_free_run b sh.scan_line with
     | Some (start, stop) ->
-      t.cursor <- b.b_base + (start * Layout.line);
-      t.cursor_limit <- b.b_base + (stop * Layout.line);
-      t.scan_line <- stop + 1;
+      sh.cursor <- b.b_base + (start * Layout.line);
+      sh.cursor_limit <- b.b_base + (stop * Layout.line);
+      sh.scan_line <- stop + 1;
       true
     | None ->
-      t.cur <- None;
-      refill t
+      sh.cur <- None;
+      refill t sh
   end
   | None -> begin
-    match t.avail with
-    | b :: rest ->
-      t.avail <- rest;
-      t.cur <- Some b;
-      t.scan_line <- 0;
-      t.cursor <- 0;
-      t.cursor_limit <- 0;
-      refill t
-    | [] ->
-      if Arena.remaining t.arena >= Layout.mature_region then begin
-        grow_region t;
-        refill t
-      end
-      else false
+    Mutex.lock t.registry;
+    let b = take_avail t in
+    Mutex.unlock t.registry;
+    match b with
+    | Some b ->
+      sh.cur <- Some b;
+      sh.scan_line <- 0;
+      sh.cursor <- 0;
+      sh.cursor_limit <- 0;
+      refill t sh
+    | None -> false
   end
 
-let rec alloc t (o : Object_model.t) =
-  if o.size > Layout.max_small_object then invalid_arg "Immix_space.alloc: large object";
-  if t.cursor + o.size <= t.cursor_limit then begin
-    o.addr <- t.cursor;
+let rec alloc_in t sh (o : Object_model.t) =
+  if sh.cursor + o.size <= sh.cursor_limit then begin
+    o.addr <- sh.cursor;
     o.space <- t.id;
-    t.cursor <- t.cursor + o.size;
+    sh.cursor <- sh.cursor + o.size;
+    Mutex.lock t.registry;
     t.live_bytes <- t.live_bytes + o.size;
     t.allocs_since_sweep <- t.allocs_since_sweep + 1;
     Vec.push t.objects o;
+    Mutex.unlock t.registry;
     true
   end
-  else if refill t then alloc t o
+  else if refill t sh then alloc_in t sh o
   else false
+
+let alloc ?(shard = 0) t (o : Object_model.t) =
+  if o.size > Layout.max_small_object then invalid_arg "Immix_space.alloc: large object";
+  let sh = t.shards.(shard) in
+  Mutex.lock sh.lock;
+  let ok = alloc_in t sh o in
+  Mutex.unlock sh.lock;
+  ok
+
+let shard_count t = Array.length t.shards
 
 let region_index_of_addr t addr =
   (* Binary search the region containing [addr]. *)
@@ -354,10 +391,13 @@ let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = f
     t.blocks;
   (* Allocation prefers partially filled blocks, then empty ones (§3). *)
   t.avail <- List.rev !recyclable @ List.rev !free;
-  t.cur <- None;
-  t.cursor <- 0;
-  t.cursor_limit <- 0;
-  t.scan_line <- 0;
+  Array.iter
+    (fun sh ->
+      sh.cur <- None;
+      sh.cursor <- 0;
+      sh.cursor_limit <- 0;
+      sh.scan_line <- 0)
+    t.shards;
   t.allocs_since_sweep <- 0;
   {
     swept_objects = !swept_objects;

@@ -9,7 +9,14 @@
 
     The space reserves virtual memory from its arena 4 MB at a time
     (the MDO region granularity of §4.2.5); [on_new_region] lets the
-    runtime allocate the matching DRAM mark table. *)
+    runtime allocate the matching DRAM mark table.
+
+    Allocation is sharded: each mutator domain bump-allocates through
+    its own shard (a private cursor into a block it owns) under the
+    shard's lock, and shards contend only on the shared block registry
+    when they need a fresh block. One shard (the default) is exactly
+    the pre-shard single-cursor space — same blocks in the same order,
+    so single-domain address streams are unchanged. *)
 
 type t
 
@@ -27,17 +34,23 @@ val create :
   name:string ->
   arena:Arena.t ->
   ?on_new_region:(base:int -> unit) ->
+  ?shards:int ->
   unit ->
   t
+(** [shards] (default 1) is the number of independent allocation
+    cursors — one per mutator domain. *)
 
 val id : t -> int
 val name : t -> string
 val kind : t -> Kg_mem.Device.kind
 
-val alloc : t -> Object_model.t -> bool
-(** Allocate into free lines, preferring recyclable blocks, then free
-    blocks, then fresh arena regions. Returns [false] only when the
-    arena is exhausted. *)
+val alloc : ?shard:int -> t -> Object_model.t -> bool
+(** Allocate into free lines through [shard]'s cursor (default 0),
+    preferring recyclable blocks, then free blocks, then fresh arena
+    regions. Returns [false] only when the arena is exhausted. Safe to
+    call concurrently from different domains on different shards. *)
+
+val shard_count : t -> int
 
 val objects : t -> Object_model.t Kg_util.Vec.t
 (** Resident objects (live and not-yet-swept dead). *)

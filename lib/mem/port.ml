@@ -18,6 +18,7 @@ type batch = {
   addrs : int array;
   sizes : int array;
   metas : int array;  (* bit 0: write flag; bits 1+: phase tag *)
+  seqs : int array;  (* issue-order tags; only meaningful in groups *)
 }
 
 let meta ~write ~tag = (tag lsl 1) lor (if write then 1 else 0)
@@ -140,10 +141,24 @@ let rec deliver sink b =
     deliver a b;
     deliver b' b
 
-type t = {
+(* A sequenced group ties N ports (one per mutator domain) to one
+   shared sink. Every append through a member port is stamped with the
+   next value of the group-wide issue counter, and flushing ANY member
+   merges the buffered records of ALL members by that stamp before a
+   single delivery — so the sink observes one global total order no
+   matter which member's buffer happened to fill first. The counter is
+   a plain mutable int: records are only issued from the deterministic
+   apply loop (one domain at a time), never concurrently. *)
+type group = {
+  mutable next_seq : int;
+  mutable members : t list;
+}
+
+and t = {
   batch : batch;
   mutable sink : sink;
   mutable phase_tag : int;
+  mutable group : group option;
 }
 
 let default_capacity = 1024
@@ -157,21 +172,93 @@ let create ?(capacity = default_capacity) ~sink () =
         addrs = Array.make capacity 0;
         sizes = Array.make capacity 0;
         metas = Array.make capacity 0;
+        seqs = Array.make capacity 0;
       };
     sink;
     phase_tag = 0;
+    group = None;
   }
 
 let sink t = t.sink
 let set_sink t s = t.sink <- s
 let capacity t = Array.length t.batch.addrs
 
-let flush t =
-  let b = t.batch in
-  if b.len > 0 then begin
-    deliver t.sink b;
-    b.len <- 0
+(* Merge member batches into one batch ordered by issue stamp. Each
+   member's buffer is already ascending in [seqs] (the group counter is
+   monotonic), so this is a k-way merge of sorted runs. Stamps are
+   unique, which makes the result a total order independent of the
+   arrival order of the input batches — the property the QCheck suite
+   pins down. *)
+let merge (batches : batch array) : batch =
+  let k = Array.length batches in
+  let total = Array.fold_left (fun a b -> a + b.len) 0 batches in
+  let out =
+    {
+      len = total;
+      addrs = Array.make (max total 1) 0;
+      sizes = Array.make (max total 1) 0;
+      metas = Array.make (max total 1) 0;
+      seqs = Array.make (max total 1) 0;
+    }
+  in
+  let pos = Array.make k 0 in
+  for i = 0 to total - 1 do
+    (* Pick the member whose next un-consumed record has the smallest
+       stamp. k is the domain count (tiny), so a linear scan beats a
+       heap here. *)
+    let best = ref (-1) in
+    let best_seq = ref max_int in
+    for j = 0 to k - 1 do
+      let b = batches.(j) in
+      if pos.(j) < b.len && b.seqs.(pos.(j)) < !best_seq then begin
+        best := j;
+        best_seq := b.seqs.(pos.(j))
+      end
+    done;
+    let b = batches.(!best) in
+    let p = pos.(!best) in
+    out.addrs.(i) <- b.addrs.(p);
+    out.sizes.(i) <- b.sizes.(p);
+    out.metas.(i) <- b.metas.(p);
+    out.seqs.(i) <- b.seqs.(p);
+    pos.(!best) <- p + 1
+  done;
+  out
+
+let flush_group g sink =
+  let pending =
+    List.filter (fun m -> m.batch.len > 0) g.members |> Array.of_list
+  in
+  if Array.length pending > 0 then begin
+    let merged = merge (Array.map (fun m -> m.batch) pending) in
+    deliver sink merged;
+    Array.iter (fun m -> m.batch.len <- 0) pending
   end
+
+let flush t =
+  match t.group with
+  | Some g -> flush_group g t.sink
+  | None ->
+    let b = t.batch in
+    if b.len > 0 then begin
+      deliver t.sink b;
+      b.len <- 0
+    end
+
+let sequenced_group ?(capacity = default_capacity) ~sink n =
+  if n <= 0 then invalid_arg "Port.sequenced_group: n must be positive";
+  let g = { next_seq = 0; members = [] } in
+  let members =
+    Array.init n (fun _ ->
+        let p = create ~capacity ~sink () in
+        p.group <- Some g;
+        p)
+  in
+  g.members <- Array.to_list members;
+  members
+
+let group_seq t =
+  match t.group with None -> None | Some g -> Some g.next_seq
 
 let[@inline] append t ~addr ~size m =
   let b = t.batch in
@@ -180,6 +267,11 @@ let[@inline] append t ~addr ~size m =
   Array.unsafe_set b.addrs i addr;
   Array.unsafe_set b.sizes i size;
   Array.unsafe_set b.metas i m;
+  (match t.group with
+  | None -> ()
+  | Some g ->
+    Array.unsafe_set b.seqs i g.next_seq;
+    g.next_seq <- g.next_seq + 1);
   b.len <- i + 1
 
 let[@inline] read t ~addr ~size = append t ~addr ~size (t.phase_tag lsl 1)

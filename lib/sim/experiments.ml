@@ -653,12 +653,17 @@ let ext_allocator env =
 
 (* Table 3's premise: write rates grow super-linearly with threads
    because interleaved allocation and shared-cache contention defeat
-   locality. Simulate 1 vs 4 logical mutator threads on one cache
-   hierarchy and compare memory-level PCM write rates. *)
+   locality. Simulate 1, 2 and 4 real mutator domains — interleaved
+   allocation through per-domain nurseries and ports onto one cache
+   hierarchy, with the mutator-side time model running on that many
+   cores — and compare memory-level PCM write rates. The scaling
+   column is measured from the simulation; no Table 3 scalar enters
+   it. *)
 let ext_threads env =
   let t =
     Table.create
-      ~columns:[ "Benchmark"; "1-thread GB/s"; "4-thread GB/s"; "scaling" ]
+      ~columns:
+        [ "Benchmark"; "1-thread GB/s"; "2-thread GB/s"; "4-thread GB/s"; "scaling 1->4" ]
   in
   List.iter
     (fun name ->
@@ -666,7 +671,7 @@ let ext_threads env =
       let run threads =
         fetch env ~threads ~cap_mb:(min env.o.cap_mb 64) Run.Simulate Run.pcm_only b
       in
-      let r1 = run 1 and r4 = run 4 in
+      let r1 = run 1 and r2 = run 2 and r4 = run 4 in
       let rate (r : Run.result) =
         if r.Run.time_s <= 0.0 then 0.0
         else r.Run.mem_pcm_write_bytes /. r.Run.time_s /. 1073741824.0
@@ -675,6 +680,7 @@ let ext_threads env =
         [
           cap name;
           f2 (rate r1);
+          f2 (rate r2);
           f2 (rate r4);
           Printf.sprintf "%.2fx" (rate r4 /. Float.max 1e-9 (rate r1));
         ])
@@ -881,7 +887,7 @@ let all =
                 (fun threads ->
                   job ~threads ~cap_mb:(min o.cap_mb 64) Run.Simulate Run.pcm_only
                     (Descriptor.find n))
-                [ 1; 4 ])
+                [ 1; 2; 4 ])
             [ "xalan"; "antlr"; "bloat" ]);
       table = ext_threads;
     };

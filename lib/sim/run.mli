@@ -77,6 +77,8 @@ val run :
   ?cap_mb:int ->
   ?trace:bool ->
   ?threads:int ->
+  ?schedule_seed:int ->
+  ?oracle:bool ->
   ?check:bool ->
   ?recorder:Kg_gc.Trace.recorder ->
   mode:mode ->
@@ -87,6 +89,13 @@ val run :
     [heap_scale] divides its live-heap target (default 3, floor 16 MB)
     so that observer and major collections still fire in shortened
     runs; [cap_mb] bounds the run length (default 256 MB).
+
+    [threads] (default 1) runs that many mutator domains over a
+    runtime created with matching [~domains] — real [Domain]s
+    generating op streams merged deterministically by [schedule_seed]
+    (default 0); [oracle] (default false) runs the same protocol
+    inline on one domain (see {!Kg_workload.Mutator.create}). The
+    result is a pure function of the seeds, not of OS scheduling.
 
     [check] (default false) attaches the {!Kg_gc.Verify} heap auditor
     to every collection phase plus a final end-of-run audit, reporting

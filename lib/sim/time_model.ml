@@ -12,7 +12,7 @@ type parts = {
 let total_ns p =
   p.app_ns +. p.gc_ns +. p.remset_ns +. p.monitor_ns +. p.mem_base_ns +. p.mem_pcm_extra_ns
 
-let cpu_parts ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
+let cpu_parts ?(domains = 1) ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
   let f = float_of_int in
   let access_events = st.reads + st.ref_writes + st.prim_writes in
   let copied = st.copied_bytes_nursery + st.copied_bytes_observer + st.copied_bytes_major in
@@ -31,7 +31,18 @@ let cpu_parts ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
     f (st.gen_remset_inserts + st.obs_remset_inserts) *. Costs.t_remset_insert_ns
   in
   let monitor_ns = f st.monitor_header_writes *. Costs.t_monitor_ns in
-  { app_ns; gc_ns; remset_ns; monitor_ns; mem_base_ns = 0.0; mem_pcm_extra_ns = 0.0 }
+  (* Mutator-side work (allocation, accesses, barrier fast paths,
+     remset buffering, write monitoring) runs on [domains] cores in
+     parallel; collections are stop-the-world and stay sequential. *)
+  let d = f (max 1 domains) in
+  {
+    app_ns = app_ns /. d;
+    gc_ns;
+    remset_ns = remset_ns /. d;
+    monitor_ns = monitor_ns /. d;
+    mem_base_ns = 0.0;
+    mem_pcm_extra_ns = 0.0;
+  }
 
 let with_machine p (m : Machine.t) =
   let open Kg_cache in

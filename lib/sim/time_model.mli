@@ -20,11 +20,16 @@ type parts = {
 
 val total_ns : parts -> float
 
-val cpu_parts : ?intensity:float -> Kg_gc.Gc_stats.t -> alloc_bytes:int -> parts
+val cpu_parts :
+  ?domains:int -> ?intensity:float -> Kg_gc.Gc_stats.t -> alloc_bytes:int -> parts
 (** The CPU-side components; memory fields are zero. [intensity]
     scales the application-compute term (benchmarks differ widely in
     work per heap access; the workload descriptor carries the
-    calibrated value). *)
+    calibrated value). [domains] (default 1) divides the mutator-side
+    terms — allocation, access, barrier and monitor fast paths run on
+    that many cores in parallel — while stop-the-world collection time
+    stays sequential (Amdahl-style scaling for the simulated multicore
+    mutators). *)
 
 val with_machine : parts -> Machine.t -> parts
 (** Add memory stall time from the machine's counters. *)

@@ -19,10 +19,38 @@ type thread = {
   mutable read_debt : float;
 }
 
+(* Multicore mutator state. With [threads > 1] the round-robin logical
+   threads are replaced by real mutator domains running an epoch
+   protocol (see [run_epochs] below): each domain *generates* a
+   symbolic op stream in parallel as a pure function of its private
+   state plus a read-only snapshot, and the coordinator *applies* the
+   streams sequentially in a schedule-seeded deterministic merge. A
+   generated op names objects that do not exist yet with [T_pending]
+   indices into the issuing domain's epoch allocations. *)
+type target = T_obj of O.t | T_pending of int
+
+type op =
+  | Op_alloc of { size : int; heat : O.heat; life : float; ref_fields : int }
+  | Op_write_ref of { src : target; tgt : target }
+  | Op_write_prim of target
+  | Op_read_burst of { tgt : target; words : int }
+
+(* A mutator domain's private state: PRNG stream, recent-allocation
+   ring (holding pending markers until the epoch materialises them)
+   and mutation debts. Touched only by its own domain during
+   generation and by the coordinator between epochs. *)
+type dstate = {
+  d_rng : Rng.t;
+  d_recent : target option array;
+  mutable d_recent_cursor : int;
+  mutable d_write_debt : float;
+  mutable d_read_debt : float;
+}
+
 type t = {
   desc : Descriptor.t;
   rt : Rt.t;
-  threads : thread array;
+  threads : thread array;  (* sequential path; empty when nthreads > 1 *)
   mutable cur : int;  (* round-robin position *)
   life : Lifetime.t;
   hot : O.t Vec.t;
@@ -32,12 +60,21 @@ type t = {
   p_large : float;
   large_mean : float;
   live_mb : int;
+  (* Multicore: *)
+  nthreads : int;
+  oracle : bool;  (* interleaved oracle: generate inline, no Domains *)
+  sched_rng : Rng.t;  (* merge schedule; seeded independently *)
+  dstates : dstate array;  (* empty when nthreads = 1 *)
+  boot_allocs_by_thread : int array;
 }
 
 let descriptor t = t.desc
 let runtime t = t.rt
+let thread_count t = t.nthreads
+let boot_allocs_by_thread t = Array.copy t.boot_allocs_by_thread
 
-let create ?live_mb ?(threads = 1) desc ~rt ~seed =
+let create ?live_mb ?(threads = 1) ?(schedule_seed = 0) ?(oracle = false) desc
+    ~rt ~seed =
   (* Calibrated against the default sizes regardless of the collector
      under test: lifetimes are a workload property. *)
   let live_mb = Option.value live_mb ~default:(Descriptor.live_mb desc) in
@@ -54,6 +91,12 @@ let create ?live_mb ?(threads = 1) desc ~rt ~seed =
   let f = desc.Descriptor.large_frac in
   let p_large = if f <= 0.0 then 0.0 else f *. es /. (((1.0 -. f) *. large_mean) +. (f *. es)) in
   let root = Rng.of_seed seed in
+  let threads = max 1 threads in
+  if threads > 1 && Rt.domains rt <> threads then
+    invalid_arg
+      (Printf.sprintf
+         "Mutator.create: %d threads need a runtime with %d domains (has %d)"
+         threads threads (Rt.domains rt));
   let mk_thread _ =
     {
       rng = Rng.split root;
@@ -63,10 +106,19 @@ let create ?live_mb ?(threads = 1) desc ~rt ~seed =
       read_debt = 0.0;
     }
   in
+  let mk_dstate _ =
+    {
+      d_rng = Rng.split root;
+      d_recent = Array.make recent_size None;
+      d_recent_cursor = 0;
+      d_write_debt = 0.0;
+      d_read_debt = 0.0;
+    }
+  in
   {
     desc;
     rt;
-    threads = Array.init (max 1 threads) mk_thread;
+    threads = (if threads = 1 then [| mk_thread 0 |] else [||]);
     cur = 0;
     life;
     hot = Vec.create ();
@@ -76,20 +128,29 @@ let create ?live_mb ?(threads = 1) desc ~rt ~seed =
     p_large;
     large_mean;
     live_mb;
+    nthreads = threads;
+    oracle;
+    sched_rng = Rng.of_seed schedule_seed;
+    dstates = (if threads = 1 then [||] else Array.init threads mk_dstate);
+    boot_allocs_by_thread = Array.make threads 0;
   }
 
-let draw_small_size t th =
+let draw_small_size_rng t rng =
   (* Geometric in words around the benchmark mean, 16 B..8 KB. *)
   let mean_words = float_of_int t.desc.Descriptor.mean_small /. 8.0 in
   let p = 1.0 /. Float.max 2.0 mean_words in
-  let words = 2 + Rng.geometric th.rng p in
+  let words = 2 + Rng.geometric rng p in
   min Layout.max_small_object (max 16 (words * 8))
 
-let draw_large_size th =
-  let s = Rng.pareto th.rng ~alpha:large_alpha ~xmin:(float_of_int large_min) in
+let draw_small_size t th = draw_small_size_rng t th.rng
+
+let draw_large_size_rng rng =
+  let s = Rng.pareto rng ~alpha:large_alpha ~xmin:(float_of_int large_min) in
   min (2 * Units.mib) (int_of_float s)
 
-let assign_heat t th cls =
+let draw_large_size th = draw_large_size_rng th.rng
+
+let assign_heat_rng t rng cls =
   (* Hot objects must end up ~2% of *written* mature objects (Figure
      2). Written mature objects also include the cold sample and the
      warm class, so hot is rare and restricted to long-lived *churn*
@@ -106,15 +167,17 @@ let assign_heat t th cls =
     | _ -> false
   in
   if long_like then begin
-    let u = Rng.float th.rng 1.0 in
+    let u = Rng.float rng 1.0 in
     if u < 0.04 then O.Hot else if u < 0.20 then O.Warm else O.Cold
   end
   else
     match cls with
     | Lifetime.Short -> O.Cold
-    | Lifetime.Medium -> if Rng.bernoulli th.rng 0.02 then O.Warm else O.Cold
-    | Lifetime.Immortal -> if Rng.bernoulli th.rng 0.01 then O.Warm else O.Cold
+    | Lifetime.Medium -> if Rng.bernoulli rng 0.02 then O.Warm else O.Cold
+    | Lifetime.Immortal -> if Rng.bernoulli rng 0.01 then O.Warm else O.Cold
     | Lifetime.Long -> O.Cold
+
+let assign_heat t th cls = assign_heat_rng t th.rng cls
 
 let register t th (o : O.t) =
   th.recent.(th.recent_cursor) <- Some o;
@@ -243,26 +306,48 @@ let mutate_for t th (o : O.t) =
     end
   done
 
+(* Register a boot/epoch object against a mutator domain's state. The
+   cold-reservoir draws use the domain's own stream here (startup runs
+   sequentially, before any worker exists). *)
+let register_d t ds (o : O.t) =
+  ds.d_recent.(ds.d_recent_cursor) <- Some (T_obj o);
+  ds.d_recent_cursor <- (ds.d_recent_cursor + 1) mod recent_size;
+  t.allocated <- t.allocated + 1;
+  match o.heat with
+  | O.Hot -> Vec.push t.hot o
+  | O.Warm -> Vec.push t.warm o
+  | O.Cold ->
+    if Vec.length t.cold < cold_cap then Vec.push t.cold o
+    else if Rng.bernoulli ds.d_rng (float_of_int cold_cap /. float_of_int t.allocated) then
+      Vec.set t.cold (Rng.int ds.d_rng cold_cap) o
+
 let allocate_startup t =
   (* Boot image: immortal objects placed directly in the mature space.
      They still join the target pools, so long-lived hot data (session
-     tables, caches) receives its share of mature writes. *)
-  let th = t.threads.(0) in
+     tables, caches) receives its share of mature writes. Boot
+     allocation round-robins across all mutator threads — every
+     thread's PRNG stream and recent window start populated, so thread
+     0 has no privileged role once the run begins. *)
   let target = 0.4 *. float_of_int t.live_mb *. float_of_int Units.mib in
   let start = Rt.now t.rt in
+  let k = ref 0 in
   while Rt.now t.rt -. start < target do
-    let large = Rng.bernoulli th.rng t.p_large in
-    let size = if large then draw_large_size th else draw_small_size t th in
-    let heat = assign_heat t th Lifetime.Immortal in
+    let d = !k mod t.nthreads in
+    incr k;
+    let rng = if t.nthreads = 1 then t.threads.(0).rng else t.dstates.(d).d_rng in
+    let large = Rng.bernoulli rng t.p_large in
+    let size = if large then draw_large_size_rng rng else draw_small_size_rng t rng in
+    let heat = assign_heat_rng t rng Lifetime.Immortal in
     let o = Rt.alloc_boot t.rt ~size ~heat ~ref_fields:(max 1 (size / 32)) in
-    register t th o
+    if t.nthreads = 1 then register t t.threads.(0) o else register_d t t.dstates.(d) o;
+    t.boot_allocs_by_thread.(d) <- t.boot_allocs_by_thread.(d) + 1
   done
 
 (* Each engine step runs one thread for a small burst of allocations,
    then rotates: the coarse interleaving real schedulers produce. *)
 let burst_allocs = 16
 
-let run t ~alloc_bytes ?(on_tick = fun _ -> ()) ?(tick_bytes = Units.mib) () =
+let run_sequential t ~alloc_bytes ~on_tick ~tick_bytes =
   let start = Rt.now t.rt in
   let next_tick = ref (start +. float_of_int tick_bytes) in
   let target = start +. float_of_int alloc_bytes in
@@ -279,6 +364,332 @@ let run t ~alloc_bytes ?(on_tick = fun _ -> ()) ?(tick_bytes = Units.mib) () =
       next_tick := !next_tick +. float_of_int tick_bytes
     end
   done
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-parallel execution (threads > 1)                              *)
+(*                                                                     *)
+(* Determinism argument, in three parts:                               *)
+(*                                                                     *)
+(* 1. Generation is a pure function of the domain's private state      *)
+(*    (PRNG, recent ring, debts) and an epoch-start snapshot           *)
+(*    (allocation clock, nursery headroom, frozen target pools). No    *)
+(*    shared structure is written during generation, so running the N  *)
+(*    generators on real Domains or inline in domain order produces    *)
+(*    identical op streams — that is exactly what the interleaved      *)
+(*    oracle checks.                                                   *)
+(* 2. The merge draws only from the schedule PRNG, interleaving        *)
+(*    domain streams in chunks while preserving each domain's own      *)
+(*    order — so a [T_pending i] reference always resolves to an       *)
+(*    already-applied allocation of the same domain.                   *)
+(* 3. Apply runs on the coordinator alone, one op at a time, through   *)
+(*    the domain-tagged runtime interface; collections fire inside it  *)
+(*    exactly where the op stream forces them, and the per-domain      *)
+(*    ports stamp every record with the shared issue counter so sink   *)
+(*    order is schedule order.                                         *)
+
+type snapshot = { s_now : float; s_nursery_free : int array }
+
+(* Pure pick helpers: same skew as the sequential path but against the
+   frozen snapshot — no pruning (pools are read-only during an epoch;
+   the coordinator compacts them at the barrier instead). *)
+
+let g_pick_live rng now pool attempts =
+  let rec go a =
+    if a = 0 || Vec.length pool = 0 then None
+    else begin
+      let o = Vec.get pool (Rng.int rng (Vec.length pool)) in
+      if O.is_live o now then Some (T_obj o) else go (a - 1)
+    end
+  in
+  go attempts
+
+let g_pick_recent ds now =
+  let rec go a =
+    if a = 0 then None
+    else begin
+      match ds.d_recent.(Rng.int ds.d_rng recent_size) with
+      | Some (T_obj o) when O.is_live o now -> Some (T_obj o)
+      | Some (T_pending i) -> Some (T_pending i)
+      | _ -> go (a - 1)
+    end
+  in
+  go 4
+
+let g_pick_hot t rng now attempts =
+  let pool = t.hot in
+  let rec go a =
+    if a = 0 || Vec.length pool = 0 then None
+    else begin
+      let o = Vec.get pool (Rng.zipf rng ~n:(Vec.length pool) ~s:1.2) in
+      if O.is_live o now then Some (T_obj o) else go (a - 1)
+    end
+  in
+  go attempts
+
+let g_pick_mature t ds now =
+  let d = t.desc in
+  let rng = ds.d_rng in
+  let u = Rng.float rng 1.0 in
+  let primary =
+    if u < d.Descriptor.top2_frac then g_pick_hot t rng now 8
+    else if u < d.Descriptor.top10_frac then g_pick_live rng now t.warm 8
+    else g_pick_live rng now t.cold 8
+  in
+  match primary with
+  | Some _ as r -> r
+  | None -> (
+    match g_pick_live rng now t.cold 8 with
+    | Some _ as r -> r
+    | None -> g_pick_recent ds now)
+
+let g_pick_write_target t ds now =
+  if Rng.bernoulli ds.d_rng t.desc.Descriptor.nursery_write_frac then
+    match g_pick_recent ds now with Some o -> Some o | None -> g_pick_mature t ds now
+  else
+    match g_pick_mature t ds now with Some o -> Some o | None -> g_pick_recent ds now
+
+let g_do_write t ds now ops =
+  match g_pick_write_target t ds now with
+  | None -> ()
+  | Some src ->
+    if Rng.bernoulli ds.d_rng t.desc.Descriptor.ref_write_frac then begin
+      let tgt =
+        if Rng.bernoulli ds.d_rng 0.5 then
+          match g_pick_recent ds now with
+          | Some o -> Some o
+          | None -> g_pick_mature t ds now
+        else g_pick_mature t ds now
+      in
+      match tgt with
+      | Some tgt -> Vec.push ops (Op_write_ref { src; tgt })
+      | None -> Vec.push ops (Op_write_prim src)
+    end
+    else Vec.push ops (Op_write_prim src)
+
+let g_do_reads t ds now ops n =
+  let target =
+    if Rng.bernoulli ds.d_rng 0.6 then g_pick_recent ds now else g_pick_mature t ds now
+  in
+  match target with
+  | Some tgt -> Vec.push ops (Op_read_burst { tgt; words = n })
+  | None -> ()
+
+(* Bytes of allocation each domain generates per epoch. Small enough
+   that domains interleave at burst granularity, large enough that the
+   per-epoch barrier cost is amortised. *)
+let epoch_quantum = 4 * 1024
+
+(* Generate one epoch's op stream for domain [d]: the parallel half of
+   the protocol. Touches only [t.dstates.(d)] and read-only state. *)
+let generate t d snap =
+  let ds = t.dstates.(d) in
+  let now = snap.s_now in
+  let ops = Vec.create () in
+  let pending = ref 0 in
+  let bytes = ref 0 in
+  while !bytes < epoch_quantum do
+    let cls, life =
+      Lifetime.draw t.life ds.d_rng
+        ~nursery_remaining:(float_of_int snap.s_nursery_free.(d))
+    in
+    let large = Rng.bernoulli ds.d_rng t.p_large in
+    let size = if large then draw_large_size_rng ds.d_rng else draw_small_size_rng t ds.d_rng in
+    let heat = assign_heat_rng t ds.d_rng cls in
+    let ref_fields = max 1 (size / 32) in
+    Vec.push ops (Op_alloc { size; heat; life; ref_fields });
+    ds.d_recent.(ds.d_recent_cursor) <- Some (T_pending !pending);
+    ds.d_recent_cursor <- (ds.d_recent_cursor + 1) mod recent_size;
+    incr pending;
+    bytes := !bytes + size;
+    ds.d_write_debt <-
+      ds.d_write_debt +. (float_of_int size *. t.desc.Descriptor.write_alloc_ratio /. 8.0);
+    while ds.d_write_debt >= 1.0 do
+      g_do_write t ds now ops;
+      ds.d_write_debt <- ds.d_write_debt -. 1.0;
+      ds.d_read_debt <- ds.d_read_debt +. t.desc.Descriptor.read_write_ratio;
+      if ds.d_read_debt >= 1.0 then begin
+        let burst = min 8 (int_of_float ds.d_read_debt) in
+        g_do_reads t ds now ops burst;
+        ds.d_read_debt <- ds.d_read_debt -. float_of_int burst
+      end
+    done
+  done;
+  ops
+
+(* Interleave the domains' op streams into one schedule: repeatedly
+   pick a domain with ops remaining and take a chunk, both drawn from
+   the schedule PRNG. Per-domain order is preserved. *)
+let merge_schedule t (streams : op Vec.t array) =
+  let n = Array.length streams in
+  let pos = Array.make n 0 in
+  let remaining = ref 0 in
+  Array.iter (fun s -> remaining := !remaining + Vec.length s) streams;
+  let out = Vec.create () in
+  let alive = Array.make n 0 in
+  while !remaining > 0 do
+    let na = ref 0 in
+    for d = 0 to n - 1 do
+      if pos.(d) < Vec.length streams.(d) then begin
+        alive.(!na) <- d;
+        incr na
+      end
+    done;
+    let d = alive.(Rng.int t.sched_rng !na) in
+    let chunk = 1 + Rng.int t.sched_rng 8 in
+    let len = Vec.length streams.(d) in
+    let take = min chunk (len - pos.(d)) in
+    for _ = 1 to take do
+      Vec.push out (d, Vec.get streams.(d) pos.(d));
+      pos.(d) <- pos.(d) + 1
+    done;
+    remaining := !remaining - take
+  done;
+  out
+
+(* Apply one epoch's merged schedule through the domain-tagged runtime
+   interface. Shared-pool registration happens here, on the
+   coordinator; reservoir decisions draw from the schedule PRNG so
+   generation streams stay untouched. *)
+let apply_schedule t merged (epoch_allocs : O.t Vec.t array) =
+  let resolve d = function
+    | T_obj o -> o
+    | T_pending i -> Vec.get epoch_allocs.(d) i
+  in
+  Vec.iter
+    (fun (d, op) ->
+      match op with
+      | Op_alloc { size; heat; life; ref_fields } ->
+        let death = Rt.now t.rt +. life in
+        let o = Rt.alloc ~domain:d t.rt ~size ~heat ~death ~ref_fields in
+        Vec.push epoch_allocs.(d) o;
+        t.allocated <- t.allocated + 1;
+        (match o.heat with
+        | O.Hot -> Vec.push t.hot o
+        | O.Warm -> Vec.push t.warm o
+        | O.Cold ->
+          if Vec.length t.cold < cold_cap then Vec.push t.cold o
+          else if
+            Rng.bernoulli t.sched_rng (float_of_int cold_cap /. float_of_int t.allocated)
+          then Vec.set t.cold (Rng.int t.sched_rng cold_cap) o)
+      | Op_write_ref { src; tgt } ->
+        Rt.write_ref ~domain:d t.rt ~src:(resolve d src) ~tgt:(resolve d tgt)
+      | Op_write_prim tgt -> Rt.write_prim ~domain:d t.rt (resolve d tgt)
+      | Op_read_burst { tgt; words } -> Rt.read_burst ~domain:d t.rt (resolve d tgt) words)
+    merged
+
+(* Epoch barrier: resolve the recent rings' pending markers to the
+   objects the epoch materialised, and compact the shared pools
+   (the sequential path prunes lazily inside its picks; the parallel
+   path must not mutate pools mid-epoch, so it prunes here). *)
+let epoch_barrier t (epoch_allocs : O.t Vec.t array) =
+  let now = Rt.now t.rt in
+  Array.iteri
+    (fun d ds ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Some (T_pending p) -> ds.d_recent.(i) <- Some (T_obj (Vec.get epoch_allocs.(d) p))
+          | _ -> ())
+        ds.d_recent)
+    t.dstates;
+  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.hot;
+  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.warm;
+  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.cold
+
+(* The worker team: one real Domain per mutator domain above 0 (the
+   coordinator generates domain 0's stream itself while waiting),
+   parked on a condition variable between epochs. *)
+type team = {
+  tm : Mutex.t;
+  tcv : Condition.t;
+  mutable t_epoch : int;
+  mutable t_done : int;
+  mutable t_stop : bool;
+}
+
+let run_epochs t ~alloc_bytes ~on_tick ~tick_bytes =
+  let n = t.nthreads in
+  let start = Rt.now t.rt in
+  let next_tick = ref (start +. float_of_int tick_bytes) in
+  let target = start +. float_of_int alloc_bytes in
+  let streams : op Vec.t array = Array.init n (fun _ -> Vec.create ()) in
+  let snap = ref { s_now = 0.0; s_nursery_free = [||] } in
+  let team = { tm = Mutex.create (); tcv = Condition.create (); t_epoch = 0; t_done = 0; t_stop = false } in
+  let worker d () =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock team.tm;
+      while team.t_epoch = !seen && not team.t_stop do
+        Condition.wait team.tcv team.tm
+      done;
+      if team.t_stop then begin
+        running := false;
+        Mutex.unlock team.tm
+      end
+      else begin
+        seen := team.t_epoch;
+        Mutex.unlock team.tm;
+        streams.(d) <- generate t d !snap;
+        Mutex.lock team.tm;
+        team.t_done <- team.t_done + 1;
+        Condition.broadcast team.tcv;
+        Mutex.unlock team.tm
+      end
+    done
+  in
+  let workers =
+    if t.oracle then [||]
+    else Array.init (n - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  let finish () =
+    Mutex.lock team.tm;
+    team.t_stop <- true;
+    Condition.broadcast team.tcv;
+    Mutex.unlock team.tm;
+    Array.iter Domain.join workers
+  in
+  (try
+     while Rt.now t.rt < target do
+       snap :=
+         {
+           s_now = Rt.now t.rt;
+           s_nursery_free = Array.init n (fun d -> Rt.nursery_free ~domain:d t.rt);
+         };
+       if t.oracle then
+         for d = 0 to n - 1 do
+           streams.(d) <- generate t d !snap
+         done
+       else begin
+         Mutex.lock team.tm;
+         team.t_done <- 0;
+         team.t_epoch <- team.t_epoch + 1;
+         Condition.broadcast team.tcv;
+         Mutex.unlock team.tm;
+         streams.(0) <- generate t 0 !snap;
+         Mutex.lock team.tm;
+         while team.t_done < n - 1 do
+           Condition.wait team.tcv team.tm
+         done;
+         Mutex.unlock team.tm
+       end;
+       let merged = merge_schedule t streams in
+       let epoch_allocs = Array.init n (fun _ -> Vec.create ()) in
+       apply_schedule t merged epoch_allocs;
+       epoch_barrier t epoch_allocs;
+       if Rt.now t.rt >= !next_tick then begin
+         on_tick (Rt.now t.rt);
+         next_tick := !next_tick +. float_of_int tick_bytes
+       end
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ()
+
+let run t ~alloc_bytes ?(on_tick = fun _ -> ()) ?(tick_bytes = Units.mib) () =
+  if t.nthreads = 1 then run_sequential t ~alloc_bytes ~on_tick ~tick_bytes
+  else run_epochs t ~alloc_bytes ~on_tick ~tick_bytes
 
 let scaled_alloc_bytes (d : Descriptor.t) ~scale ~cap_mb =
   let scaled = d.alloc_mb / max 1 scale in

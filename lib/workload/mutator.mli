@@ -11,17 +11,43 @@
 
 type t
 
-val create : ?live_mb:int -> ?threads:int -> Descriptor.t -> rt:Kg_gc.Runtime.t -> seed:int -> t
+val create :
+  ?live_mb:int ->
+  ?threads:int ->
+  ?schedule_seed:int ->
+  ?oracle:bool ->
+  Descriptor.t ->
+  rt:Kg_gc.Runtime.t ->
+  seed:int ->
+  t
 (** [live_mb] overrides the benchmark's live-heap target for scaled
     runs; lifetime calibration and the startup base follow it.
-    [threads] (default 1) models that many logical mutator threads:
-    each gets its own PRNG stream, recent-allocation window and
-    read/write debts, and the engine interleaves them in small bursts —
-    interleaved allocation is what degrades locality as core counts
-    grow (Table 3). *)
+
+    [threads] (default 1) is the number of mutator domains. Each gets
+    its own PRNG stream, recent-allocation window and read/write
+    debts. With one thread the mutator runs the classic sequential
+    loop. With more, [rt] must have been created with
+    [~domains:threads], and {!run} executes the epoch protocol: each
+    domain {e generates} a symbolic op stream in parallel on a real
+    [Domain] as a pure function of its private state plus an
+    epoch-start snapshot, and the coordinator {e applies} the streams
+    sequentially in a deterministic merge drawn from [schedule_seed]
+    (default 0). The result is a bit-reproducible function of
+    [(seed, schedule_seed, threads)], independent of OS scheduling.
+
+    [oracle] (default false) runs the identical protocol but generates
+    every stream inline on the calling domain, in domain order, with
+    no [Domain.spawn] — the single-domain interleaved oracle the
+    differential tests compare the parallel path against. *)
 
 val descriptor : t -> Descriptor.t
 val runtime : t -> Kg_gc.Runtime.t
+
+val thread_count : t -> int
+
+val boot_allocs_by_thread : t -> int array
+(** How many boot-image objects {!allocate_startup} charged to each
+    mutator thread; startup round-robins so no thread is privileged. *)
 
 val allocate_startup : t -> unit
 (** Allocate the immortal base: 40 % of the benchmark's live target,

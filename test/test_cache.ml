@@ -302,6 +302,7 @@ let batch_of records =
       addrs = Array.make n 0;
       sizes = Array.make n 0;
       metas = Array.make n 0;
+      seqs = Array.make n 0;
     }
   in
   List.iteri

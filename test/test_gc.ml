@@ -54,7 +54,7 @@ let test_phase_roundtrip () =
       ignore (Phase.of_tag 7))
 
 let test_remset_basic () =
-  let rs = Remset.create ~name:"t" ~buffer_base:1000 ~buffer_bytes:64 in
+  let rs = Remset.create ~name:"t" ~buffer_base:1000 ~buffer_bytes:64 () in
   let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
   let a1 = Remset.insert rs ~slot_addr:42 ~target:o in
   check_bool "entry addr in buffer" true (a1 >= 1000 && a1 < 1064);
@@ -70,6 +70,91 @@ let test_remset_basic () =
   Remset.clear rs;
   check_int "cleared" 0 (Remset.length rs);
   check_int "total persists" 21 (Remset.total_inserts rs)
+
+(* Satellite 2a: model-based check of the multicore front end. Any
+   interleaving of per-domain records and handshakes must leave the
+   shared set holding exactly the published entries, with each
+   handshake publishing pending buffers in domain order. *)
+let remset_handshake_model_qcheck =
+  QCheck.Test.make ~name:"remset handshake publishes pending in domain order" ~count:200
+    QCheck.(pair (int_range 1 4) (small_list (int_range 0 99)))
+    (fun (domains, ops) ->
+      let rs =
+        Remset.create ~domains ~name:"model" ~buffer_base:0 ~buffer_bytes:4096 ()
+      in
+      let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
+      (* Reference model: per-domain pending queues + published list. *)
+      let m_pending = Array.make domains [] in
+      let m_published = ref [] in
+      let next_slot = ref 0 in
+      let m_handshake () =
+        Array.iteri
+          (fun d q ->
+            m_published := !m_published @ List.rev q;
+            m_pending.(d) <- [])
+          m_pending
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op mod 10 = 0 then begin
+            ignore (Remset.handshake rs);
+            m_handshake ()
+          end
+          else begin
+            let d = op mod domains in
+            incr next_slot;
+            ignore (Remset.record rs ~domain:d ~slot_addr:!next_slot ~target:o);
+            m_pending.(d) <- !next_slot :: m_pending.(d)
+          end;
+          let m_pending_total = Array.fold_left (fun a q -> a + List.length q) 0 m_pending in
+          ok :=
+            !ok
+            && Remset.pending_total rs = m_pending_total
+            && Remset.length rs = List.length !m_published)
+        ops;
+      (* Final handshake: the shared set must list every entry in
+         publication order. *)
+      ignore (Remset.handshake rs);
+      m_handshake ();
+      let seen = ref [] in
+      Remset.iter rs (fun e -> seen := e.Remset.slot_addr :: !seen);
+      !ok && List.rev !seen = !m_published && Remset.pending_total rs = 0)
+
+let test_remset_record_slices () =
+  (* Each domain's pending entries write into its own slice of the
+     metadata store, so concurrent barrier hits never share lines. *)
+  let rs = Remset.create ~domains:2 ~name:"s" ~buffer_base:1000 ~buffer_bytes:64 () in
+  let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
+  for _ = 1 to 10 do
+    let a0 = Remset.record rs ~domain:0 ~slot_addr:1 ~target:o in
+    let a1 = Remset.record rs ~domain:1 ~slot_addr:2 ~target:o in
+    check_bool "domain 0 slice" true (a0 >= 1000 && a0 < 1032);
+    check_bool "domain 1 slice" true (a1 >= 1032 && a1 < 1064)
+  done;
+  check_int "pending per domain" 10 (Remset.pending_length rs ~domain:0);
+  check_int "published" 20 (Remset.handshake rs);
+  check_int "handshake count" 1 (Remset.handshakes rs)
+
+(* Satellite 2b: a pending entry still unpublished when a collection
+   phase ends is a protocol violation the auditor must flag. *)
+let test_verify_catches_missed_handshake () =
+  let map = Kg_mem.Address_map.hybrid () in
+  let cfg = Gc_config.make ~nursery_mb:1 ~heap_mb:8 Gc_config.Kg_nursery in
+  let mem, _ = Mem_iface.counting ~map in
+  let rt = Rt.create ~domains:2 ~config:cfg ~mem ~map ~seed:1 () in
+  let src = Rt.alloc_boot rt ~size:64 ~heat:O.Cold ~ref_fields:2 in
+  let tgt = Rt.alloc ~domain:1 rt ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:2 in
+  Rt.write_ref ~domain:1 rt ~src ~tgt;
+  check_bool "barrier hit is pending" true (Remset.pending_total (Rt.gen_remset rt) > 0);
+  let flags phase =
+    Verify.audit ~phase rt
+    |> List.exists (fun v -> v.Verify.invariant = "remset-handshake")
+  in
+  check_bool "mutator phase is fine" false (flags Phase.Application);
+  check_bool "nursery gc phase flags it" true (flags Phase.Nursery_gc);
+  ignore (Remset.handshake (Rt.gen_remset rt));
+  check_bool "handshake clears the violation" false (flags Phase.Nursery_gc)
 
 let test_counting_mem () =
   let map = Kg_mem.Address_map.hybrid () in
@@ -570,6 +655,10 @@ let () =
           Alcotest.test_case "observer default" `Quick test_config_observer_default;
           Alcotest.test_case "phase roundtrip" `Quick test_phase_roundtrip;
           Alcotest.test_case "remset" `Quick test_remset_basic;
+          Alcotest.test_case "remset record slices" `Quick test_remset_record_slices;
+          q remset_handshake_model_qcheck;
+          Alcotest.test_case "missed handshake flagged" `Quick
+            test_verify_catches_missed_handshake;
           Alcotest.test_case "counting mem" `Quick test_counting_mem;
         ] );
       ( "allocation",

@@ -222,6 +222,45 @@ let test_immix_defrag_candidates () =
 
 (* No two live objects may overlap, across arbitrary alloc/sweep
    interleavings: the load-bearing allocator invariant. *)
+(* Sharded allocation: real domains bump-allocating through their own
+   shards concurrently must produce a consistent population — every
+   object registered once, no address overlap, live bytes summing. *)
+let test_immix_parallel_shards () =
+  let shards = 4 and per_domain = 2000 in
+  let sp = Immix_space.create ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards () in
+  check_int "shard count" shards (Immix_space.shard_count sp);
+  let worker shard () =
+    for i = 0 to per_domain - 1 do
+      let o = obj ~size:(64 + (16 * (i mod 8))) ((shard * per_domain) + i) in
+      if not (Immix_space.alloc ~shard sp o) then failwith "arena exhausted"
+    done
+  in
+  let doms = Array.init (shards - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  Array.iter Domain.join doms;
+  check_int "all objects registered" (shards * per_domain)
+    (Kg_util.Vec.length (Immix_space.objects sp));
+  let sum =
+    Kg_util.Vec.fold (fun a (o : O.t) -> a + o.O.size) 0 (Immix_space.objects sp)
+  in
+  check_int "live bytes sum" sum (Immix_space.live_bytes sp);
+  Alcotest.(check (list string)) "audit clean" [] (Immix_space.audit sp)
+
+let test_immix_one_shard_matches_default () =
+  (* shards:1 must be exactly the pre-shard space: same addresses for
+     the same allocation sequence. *)
+  let run sp =
+    List.init 200 (fun i ->
+        let o = obj ~size:(64 + (8 * (i mod 16))) i in
+        ignore (Immix_space.alloc sp o);
+        o.O.addr)
+  in
+  let a = run (mk_immix ()) in
+  let b =
+    run (Immix_space.create ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards:1 ())
+  in
+  check_bool "identical address streams" true (a = b)
+
 let immix_no_overlap_qcheck =
   QCheck.Test.make ~name:"immix: live objects never overlap" ~count:30
     QCheck.(pair (small_list (int_range 16 4096)) (small_list (int_range 16 4096)))
@@ -434,6 +473,9 @@ let () =
           Alcotest.test_case "remove foreign" `Quick test_immix_remove_foreign;
           Alcotest.test_case "fragmentation" `Quick test_immix_fragmentation;
           Alcotest.test_case "defrag candidates" `Quick test_immix_defrag_candidates;
+          Alcotest.test_case "parallel shards" `Quick test_immix_parallel_shards;
+          Alcotest.test_case "one shard matches default" `Quick
+            test_immix_one_shard_matches_default;
           q immix_no_overlap_qcheck;
         ] );
       ( "los",

@@ -207,6 +207,67 @@ let test_port_create_validation () =
     (Invalid_argument "Port.create: capacity must be positive") (fun () ->
       ignore (Port.create ~capacity:0 ~sink:Port.Null ()))
 
+let test_port_sequenced_group_delivery () =
+  let c = Port.fresh_counters ~phases:8 in
+  let g = Port.sequenced_group ~capacity:64 ~sink:(Port.Counting (port_map (), c)) 3 in
+  Port.write g.(0) ~addr:0 ~size:1;
+  Port.write g.(2) ~addr:4096 ~size:2;
+  Port.write g.(1) ~addr:0 ~size:4;
+  Port.write g.(2) ~addr:4096 ~size:8;
+  check_int "no delivery before flush" 0 c.Port.dram_write_bytes;
+  (* flushing any member drains every member's buffer in stamp order *)
+  Port.flush g.(1);
+  check_int "dram bytes from members 0 and 1" 5 c.Port.dram_write_bytes;
+  check_int "pcm bytes from member 2" 10 c.Port.pcm_write_bytes;
+  check_bool "group stamp advanced past all records" true (Port.group_seq g.(0) = Some 4);
+  Port.flush g.(0);
+  check_int "group flush is idempotent" 5 c.Port.dram_write_bytes
+
+(* Satellite 1: merging K per-domain buffers by issue-order stamp is a
+   total order independent of the order the buffers are presented in. *)
+let port_group_merge_qcheck =
+  QCheck.Test.make ~name:"group merge is a permutation-stable total order" ~count:200
+    QCheck.(pair (int_range 1 6) (small_list (int_range 0 96)))
+    (fun (k, picks) ->
+      (* Assign each global issue index to a member, then build the
+         per-member buffers exactly as interleaved appends would. *)
+      let by_member = Array.make k [] in
+      List.iteri
+        (fun seq pick ->
+          let d = pick mod k in
+          by_member.(d) <- seq :: by_member.(d))
+        picks;
+      let batch_of rev_seqs =
+        let seqs = List.rev rev_seqs in
+        let n = List.length seqs in
+        let cap = max 1 n in
+        let b =
+          {
+            Port.len = n;
+            addrs = Array.make cap 0;
+            sizes = Array.make cap 1;
+            metas = Array.make cap 0;
+            seqs = Array.make cap 0;
+          }
+        in
+        List.iteri
+          (fun i s ->
+            b.Port.addrs.(i) <- 1000 + s;
+            b.Port.seqs.(i) <- s)
+          seqs;
+        b
+      in
+      let batches = Array.map batch_of by_member in
+      let order (b : Port.batch) = Array.to_list (Array.sub b.Port.addrs 0 b.Port.len) in
+      let m1 = order (Port.merge batches) in
+      let rotated = Array.init k (fun i -> batches.((i + 1) mod k)) in
+      let m2 = order (Port.merge rotated) in
+      let reversed = Array.init k (fun i -> batches.(k - 1 - i)) in
+      let m3 = order (Port.merge reversed) in
+      List.length m1 = List.length picks
+      && m1 = m2 && m1 = m3
+      && m1 = List.sort compare m1)
+
 let wear_uniformity_qcheck =
   QCheck.Test.make ~name:"wear-leveling spreads any skewed stream" ~count:20
     QCheck.(small_list small_nat)
@@ -256,6 +317,9 @@ let () =
           Alcotest.test_case "phase travels with record" `Quick test_port_phase_travels_with_record;
           Alcotest.test_case "tee shares counting" `Quick test_port_tee_counts_once_per_arm;
           Alcotest.test_case "creation validation" `Quick test_port_create_validation;
+          Alcotest.test_case "sequenced group delivery" `Quick
+            test_port_sequenced_group_delivery;
+          q port_group_merge_qcheck;
         ] );
       ( "lifetime",
         [

@@ -104,11 +104,11 @@ let test_lifetime_immortal () =
 (* ------------------------------------------------------------------ *)
 (* Mutator                                                             *)
 
-let mk_rt ?(heap_mb = 48) collector =
+let mk_rt ?(heap_mb = 48) ?(domains = 1) collector =
   let map = Kg_mem.Address_map.hybrid () in
   let cfg = Kg_gc.Gc_config.make ~heap_mb collector in
   let mem = Kg_gc.Mem_iface.null () in
-  Rt.create ~config:cfg ~mem ~map ~seed:3 ()
+  Rt.create ~domains ~config:cfg ~mem ~map ~seed:3 ()
 
 let test_mutator_run_allocates_target () =
   let rt = mk_rt Kg_gc.Gc_config.Gen_immix in
@@ -176,7 +176,7 @@ let test_mutator_tick_callback () =
 
 let test_mutator_threads () =
   let run threads =
-    let rt = mk_rt Kg_gc.Gc_config.Gen_immix in
+    let rt = mk_rt ~domains:threads Kg_gc.Gc_config.Gen_immix in
     let m = Mutator.create ~live_mb:16 ~threads (D.find "xalan") ~rt ~seed:12 in
     Mutator.run m ~alloc_bytes:(6 * mib) ();
     Rt.stats rt
@@ -187,6 +187,31 @@ let test_mutator_threads () =
   (* interleaving changes streams but not the global write character *)
   let mf s = Kg_gc.Gc_stats.mature_write_fraction s in
   check_bool "write split stable across threads" true (Float.abs (mf st1 -. mf st4) < 0.1)
+
+let test_mutator_threads_need_domains () =
+  let rt = mk_rt Kg_gc.Gc_config.Gen_immix in
+  Alcotest.check_raises "domain mismatch rejected"
+    (Invalid_argument "Mutator.create: 4 threads need a runtime with 4 domains (has 1)")
+    (fun () -> ignore (Mutator.create ~live_mb:16 ~threads:4 (D.find "xalan") ~rt ~seed:12))
+
+(* Satellite 5: thread 0 has no privileged role at startup — boot
+   allocation round-robins, so the per-thread boot counts are level. *)
+let test_mutator_startup_symmetry () =
+  let threads = 4 in
+  let rt = mk_rt ~domains:threads Kg_gc.Gc_config.kg_w_default in
+  let m = Mutator.create ~live_mb:20 ~threads (D.find "pmd") ~rt ~seed:4 in
+  Mutator.allocate_startup m;
+  let counts = Mutator.boot_allocs_by_thread m in
+  check_int "all threads recorded" threads (Array.length counts);
+  let mn = Array.fold_left min counts.(0) counts in
+  let mx = Array.fold_left max counts.(0) counts in
+  check_bool "round-robin spread" true (mx - mn <= 1);
+  check_bool "everyone allocated" true (mn > 0);
+  (* single-thread runs keep the whole boot image on thread 0 *)
+  let rt1 = mk_rt Kg_gc.Gc_config.kg_w_default in
+  let m1 = Mutator.create ~live_mb:20 (D.find "pmd") ~rt:rt1 ~seed:4 in
+  Mutator.allocate_startup m1;
+  check_int "one thread, one counter" 1 (Array.length (Mutator.boot_allocs_by_thread m1))
 
 let test_mutator_determinism () =
   let run () =
@@ -316,6 +341,8 @@ let () =
           Alcotest.test_case "all event kinds" `Quick test_mutator_generates_all_event_kinds;
           Alcotest.test_case "tick callback" `Quick test_mutator_tick_callback;
           Alcotest.test_case "threads" `Quick test_mutator_threads;
+          Alcotest.test_case "threads need domains" `Quick test_mutator_threads_need_domains;
+          Alcotest.test_case "startup symmetry" `Quick test_mutator_startup_symmetry;
           Alcotest.test_case "determinism" `Quick test_mutator_determinism;
           Alcotest.test_case "scaled alloc bounds" `Quick test_scaled_alloc_bounds;
           q mutator_any_benchmark_qcheck;
