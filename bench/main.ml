@@ -40,7 +40,17 @@
    (same op streams, no parallel generation) and reporting the
    simulated execution-time scaling. Pass --parallel-mutators to run
    only this part, and --parallel-json FILE for the JSON trajectory
-   point (BENCH_parallel_mutators.json in the repo). *)
+   point (BENCH_parallel_mutators.json in the repo).
+
+   Part 7 benchmarks the flat-word heap: the packed Bigarray object
+   tables against the record-per-object store they replaced, on three
+   kernels shaped like the simulator's hot loops (store build,
+   mark/sweep metadata sweeps, and a liveness-filtered walk feeding
+   the counting port). Pass --heap-words to run only this part,
+   --heap-words-json FILE for the JSON trajectory point
+   (BENCH_heap_words.json in the repo), and --assert-heap-speedup to
+   exit nonzero if the counting-port kernel falls below 1.1x the
+   record baseline. *)
 
 open Bechamel
 open Toolkit
@@ -432,6 +442,242 @@ let run_parallel_mutators ?(json_out = None) () =
       Printf.printf "  wrote %s\n%!" path)
     json_out
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: flat-word heap vs record object store                       *)
+
+module O = Kg_heap.Object_model
+
+(* The record-per-object store the flat-word heap replaced. Kept here
+   (only) as the benchmark baseline: one heap block per object, with
+   the float death timestamp boxed beside the int fields, exactly as
+   the pre-refactor [Object_model.t] laid it out. *)
+module Record_store = struct
+  type obj = {
+    id : int;
+    size : int;
+    heat : O.heat;
+    death : float;
+    ref_fields : int;
+    mutable addr : int;
+    mutable space : int;
+    mutable written : bool;
+    mutable marked : bool;
+    mutable age : int;
+    mutable writes : int;
+    mutable epoch_writes : int;
+  }
+
+  type t = { mutable objs : obj array; mutable len : int }
+
+  let dummy =
+    {
+      id = 0;
+      size = 0;
+      heat = O.Cold;
+      death = 0.0;
+      ref_fields = 0;
+      addr = -1;
+      space = -1;
+      written = false;
+      marked = false;
+      age = 0;
+      writes = 0;
+      epoch_writes = 0;
+    }
+
+  let create ?(capacity = 4096) () = { objs = Array.make capacity dummy; len = 0 }
+
+  let alloc t ~size ~heat ~death ~ref_fields =
+    if t.len = Array.length t.objs then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.objs 0 bigger 0 t.len;
+      t.objs <- bigger
+    end;
+    let o =
+      {
+        id = t.len + 1;
+        size;
+        heat;
+        death;
+        ref_fields;
+        addr = -1;
+        space = -1;
+        written = false;
+        marked = false;
+        age = 0;
+        writes = 0;
+        epoch_writes = 0;
+      }
+    in
+    t.objs.(t.len) <- o;
+    t.len <- t.len + 1;
+    o
+end
+
+(* One synthetic population, drawn once and replayed into both stores:
+   sizes, heats and oracle deaths in the ranges the workloads use. *)
+type heap_pop = {
+  p_sizes : int array;
+  p_heats : O.heat array;
+  p_deaths : float array;
+}
+
+let make_pop n =
+  let rng = Kg_util.Rng.of_seed 23 in
+  {
+    p_sizes =
+      Array.init n (fun _ -> Kg_heap.Layout.min_object + 8 * Kg_util.Rng.int rng 30);
+    p_heats =
+      Array.init n (fun _ ->
+          match Kg_util.Rng.int rng 10 with
+          | 0 -> O.Hot
+          | 1 | 2 -> O.Warm
+          | _ -> O.Cold);
+    p_deaths =
+      Array.init n (fun _ ->
+          if Kg_util.Rng.bernoulli rng 0.25 then infinity
+          else Kg_util.Rng.float rng 1.0e6);
+  }
+
+let build_record pop =
+  let n = Array.length pop.p_sizes in
+  let s = Record_store.create () in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    let o =
+      Record_store.alloc s ~size:pop.p_sizes.(i) ~heat:pop.p_heats.(i)
+        ~death:pop.p_deaths.(i) ~ref_fields:2
+    in
+    o.Record_store.addr <- !cursor;
+    o.Record_store.space <- i land 3;
+    cursor := !cursor + pop.p_sizes.(i)
+  done;
+  s
+
+let build_words pop =
+  let n = Array.length pop.p_sizes in
+  let w = Kg_heap.Heap_words.create () in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    let o =
+      O.make w ~size:pop.p_sizes.(i) ~heat:pop.p_heats.(i) ~death:pop.p_deaths.(i)
+        ~ref_fields:2
+    in
+    O.set_addr w o !cursor;
+    O.set_space w o (i land 3);
+    cursor := !cursor + pop.p_sizes.(i)
+  done;
+  w
+
+(* Mark/sweep-shaped metadata pass: mark everything the oracle keeps
+   alive at [now], then sweep — clear marks, age survivors, sum their
+   bytes. Returns the survivor byte count as a sink. *)
+let mark_sweep_record (s : Record_store.t) now =
+  let bytes = ref 0 in
+  for i = 0 to s.Record_store.len - 1 do
+    let o = s.Record_store.objs.(i) in
+    if o.Record_store.death > now then o.Record_store.marked <- true
+  done;
+  for i = 0 to s.Record_store.len - 1 do
+    let o = s.Record_store.objs.(i) in
+    if o.Record_store.marked then begin
+      o.Record_store.marked <- false;
+      o.Record_store.age <- o.Record_store.age + 1;
+      bytes := !bytes + o.Record_store.size
+    end
+  done;
+  !bytes
+
+let mark_sweep_words w now =
+  let bytes = ref 0 in
+  let len = Kg_heap.Heap_words.length w in
+  for o = 1 to len do
+    if O.is_live w o now then O.set_marked w o true
+  done;
+  for o = 1 to len do
+    if O.marked w o then begin
+      O.set_marked w o false;
+      O.set_age w o (O.age w o + 1);
+      bytes := !bytes + O.size w o
+    end
+  done;
+  !bytes
+
+(* Liveness-filtered walk feeding the counting port — the shape of the
+   simulator's write-traffic loops: read the oracle, then the address
+   and size, and emit one access per survivor. *)
+let count_record (s : Record_store.t) port now =
+  for i = 0 to s.Record_store.len - 1 do
+    let o = s.Record_store.objs.(i) in
+    if o.Record_store.death > now then
+      Port.write port ~addr:o.Record_store.addr ~size:o.Record_store.size
+  done;
+  Port.flush port
+
+let count_words w port now =
+  let len = Kg_heap.Heap_words.length w in
+  for o = 1 to len do
+    if O.is_live w o now then Port.write port ~addr:(O.addr w o) ~size:(O.size w o)
+  done;
+  Port.flush port
+
+let run_heap_words ?(json_out = None) () =
+  let n = 200_000 and repeats = 10 in
+  Printf.printf
+    "\n== heap words: flat Bigarray tables vs record objects (%d objects x%d) ==\n%!" n
+    repeats;
+  let pop = make_pop n in
+  let time name f =
+    f ();
+    (* warmup *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let ops = float_of_int (n * repeats) /. dt in
+    Printf.printf "  %-28s %12.0f objects/s\n%!" name ops;
+    (name, ops)
+  in
+  let rs = build_record pop and ws = build_words pop in
+  let now = 5.0e5 in
+  let map = Kg_mem.Address_map.hybrid () in
+  let sink = ref 0 in
+  let results =
+    [
+      time "record/build" (fun () -> ignore (build_record pop));
+      time "words/build" (fun () -> ignore (build_words pop));
+      time "record/mark-sweep" (fun () -> sink := !sink + mark_sweep_record rs now);
+      time "words/mark-sweep" (fun () -> sink := !sink + mark_sweep_words ws now);
+      time "record/counting" (fun () ->
+          count_record rs (fst (Kg_gc.Mem_iface.counting ~map)) now);
+      time "words/counting" (fun () ->
+          count_words ws (fst (Kg_gc.Mem_iface.counting ~map)) now);
+    ]
+  in
+  ignore !sink;
+  let find k = List.assoc k results in
+  let speedup num den = find num /. find den in
+  Printf.printf "  speedup build: %.2fx, mark-sweep: %.2fx, counting: %.2fx\n%!"
+    (speedup "words/build" "record/build")
+    (speedup "words/mark-sweep" "record/mark-sweep")
+    (speedup "words/counting" "record/counting");
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"bench\": \"heap_words\",\n  \"objects\": %d,\n  \"repeats\": %d,\n  \"objects_per_sec\": {\n%s\n  },\n  \"speedup\": {\n    \"build\": %.3f,\n    \"mark_sweep\": %.3f,\n    \"counting\": %.3f\n  }\n}\n"
+        n repeats
+        (String.concat ",\n"
+           (List.map (fun (k, v) -> Printf.sprintf "    %S: %.0f" k v) results))
+        (speedup "words/build" "record/build")
+        (speedup "words/mark-sweep" "record/mark-sweep")
+        (speedup "words/counting" "record/counting");
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+    json_out;
+  speedup "words/counting" "record/counting"
+
 let () =
   let full =
     Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
@@ -455,6 +701,7 @@ let () =
   let json_out = flag_arg "--ports-json" in
   let ck_json_out = flag_arg "--cache-kernel-json" in
   let pm_json_out = flag_arg "--parallel-json" in
+  let hw_json_out = flag_arg "--heap-words-json" in
   (* Exit nonzero if the batched port's cache-sim stack is slower than
      the per-access closure baseline. The threshold is 0.95x, not 1.0x:
      the two stacks are within a few percent of each other on the
@@ -470,13 +717,28 @@ let () =
       exit 1
     end
   in
+  (* Same guard shape for the flat-word heap, but demanding a real win:
+     the packed tables must beat the record store by 1.1x on the
+     counting-port kernel, the one closest to the simulator's hot
+     loops. The tables win by construction (no per-object pointer
+     chase, no boxed death float), so a fall below 1.1x means a
+     regression in the accessor packing, not wind. *)
+  let check_heap_speedup su =
+    if Array.exists (( = ) "--assert-heap-speedup") Sys.argv && su < 1.1 then begin
+      Printf.eprintf
+        "FAIL: words/counting is %.3fx the record baseline (threshold 1.10x)\n%!" su;
+      exit 1
+    end
+  in
   let ports_only = Array.exists (( = ) "--ports") Sys.argv in
   let ck_only = Array.exists (( = ) "--cache-kernel") Sys.argv in
   let pm_only = Array.exists (( = ) "--parallel-mutators") Sys.argv in
-  if ports_only || ck_only || pm_only then begin
+  let hw_only = Array.exists (( = ) "--heap-words") Sys.argv in
+  if ports_only || ck_only || pm_only || hw_only then begin
     if ports_only then check_port_speedup (run_ports ~json_out ());
     if ck_only then run_cache_kernel ~json_out:ck_json_out ();
-    if pm_only then run_parallel_mutators ~json_out:pm_json_out ()
+    if pm_only then run_parallel_mutators ~json_out:pm_json_out ();
+    if hw_only then check_heap_speedup (run_heap_words ~json_out:hw_json_out ())
   end
   else begin
     run_micro ();
@@ -484,5 +746,6 @@ let () =
     check_port_speedup (run_ports ~json_out ());
     run_cache_kernel ~json_out:ck_json_out ();
     run_parallel_mutators ~json_out:pm_json_out ();
+    check_heap_speedup (run_heap_words ~json_out:hw_json_out ());
     run_engine jobs
   end

@@ -179,8 +179,9 @@ let equal a b = diff a b = []
 
 let log_collection t phase ~copied ~scanned = Vec.push t.collection_log (phase, copied, scanned)
 
-let retire t (o : Kg_heap.Object_model.t) =
-  if o.age >= 1 then Vec.push t.retired_mature_writes o.writes
+let retire t w (o : Kg_heap.Object_model.t) =
+  let module O = Kg_heap.Object_model in
+  if O.age w o >= 1 then Vec.push t.retired_mature_writes (O.writes w o)
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 

@@ -70,7 +70,7 @@ val diff : t -> t -> string list
 val equal : t -> t -> bool
 (** [diff a b = []]. *)
 
-val retire : t -> Kg_heap.Object_model.t -> unit
+val retire : t -> Kg_heap.Object_model.store -> Kg_heap.Object_model.t -> unit
 (** Record a dying object's write count if it reached maturity. *)
 
 val nursery_survival : t -> float

@@ -13,13 +13,13 @@ let step rt objs ev =
   match (ev : Trace.event) with
   | Trace.Alloc { id; size; heat; death; ref_fields } ->
     let o = Runtime.alloc rt ~size ~heat ~death ~ref_fields in
-    if o.O.id <> id then
-      fail "allocation produced object id %d where the trace recorded %d" o.O.id id;
+    if O.id o <> id then
+      fail "allocation produced object id %d where the trace recorded %d" (O.id o) id;
     Hashtbl.replace objs id o
   | Trace.Alloc_boot { id; size; heat; ref_fields } ->
     let o = Runtime.alloc_boot rt ~size ~heat ~ref_fields in
-    if o.O.id <> id then
-      fail "boot allocation produced object id %d where the trace recorded %d" o.O.id id;
+    if O.id o <> id then
+      fail "boot allocation produced object id %d where the trace recorded %d" (O.id o) id;
     Hashtbl.replace objs id o
   | Trace.Write_ref { src; tgt } ->
     Runtime.write_ref rt ~src:(find "write_ref" src) ~tgt:(find "write_ref" tgt)

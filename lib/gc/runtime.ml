@@ -22,6 +22,7 @@ type space_usage = {
 
 type t = {
   cfg : Gc_config.t;
+  words : O.store;
   mem : Mem_iface.t;
   (* One port per mutator domain. With a single domain this is [| mem |]
      — the pre-domain path, bit for bit. With N > 1 the slots come from
@@ -53,7 +54,6 @@ type t = {
   mutable recent_survival : float;
   mutable gc_hook : Phase.t -> unit;
   mutable event_hook : Trace.event -> unit;
-  mutable next_id : int;
   mutable in_major : bool;
   mutable pcm_writes_at_last_major : int;
 }
@@ -62,14 +62,15 @@ let config t = t.cfg
 let stats t = t.stats
 let now t = t.now
 let domains t = t.domains
-let is_young (o : O.t) = o.space <= sp_observer
-let in_nursery (o : O.t) = o.space = sp_nursery
+let words t = t.words
+let is_young t o = O.space t.words o <= sp_observer
+let in_nursery t o = O.space t.words o = sp_nursery
 
 (* The port a given mutator domain issues its traffic through. *)
 let[@inline] mut_mem t domain = t.mut_mems.(domain)
 
-let object_in_pcm t (o : O.t) =
-  Kg_mem.Address_map.kind_of t.map o.addr = Kg_mem.Device.Pcm
+let object_in_pcm t o =
+  Kg_mem.Address_map.kind_of t.map (O.addr t.words o) = Kg_mem.Device.Pcm
 
 let set_gc_hook t f = t.gc_hook <- f
 
@@ -116,6 +117,7 @@ let line_mark_chunk_bytes = Immix_space.meta_bytes_per_block * (Layout.mature_re
 let create ?(domains = 1) ~config:cfg ~mem ~map ~seed () =
   if domains <= 0 then invalid_arg "Runtime.create: domains must be positive";
   let open Kg_mem in
+  let words = Heap_words.create () in
   let arena_of_region kind =
     match kind with
     | Device.Dram ->
@@ -165,34 +167,34 @@ let create ?(domains = 1) ~config:cfg ~mem ~map ~seed () =
   let nurseries =
     Array.init domains (fun d ->
         let name = if d = 0 then "nursery" else Printf.sprintf "nursery-%d" d in
-        Bump_space.create ~id:sp_nursery ~name ~arena:dram_arena
+        Bump_space.create ~words ~id:sp_nursery ~name ~arena:dram_arena
           ~size:(cfg.Gc_config.nursery_bytes / domains))
   in
   let has_observer = Gc_config.has_observer cfg in
   let observer =
     if has_observer then
       Some
-        (Bump_space.create ~id:sp_observer ~name:"observer" ~arena:dram_arena
+        (Bump_space.create ~words ~id:sp_observer ~name:"observer" ~arena:dram_arena
            ~size:cfg.Gc_config.observer_bytes)
     else None
   in
   let mature_dram =
     if has_observer then
       Some
-        (Immix_space.create ~id:sp_mature_dram ~name:"mature-dram" ~arena:dram_arena
+        (Immix_space.create ~words ~id:sp_mature_dram ~name:"mature-dram" ~arena:dram_arena
            ~on_new_region:on_dram_region ~shards:domains ())
     else None
   in
   let mature_pcm =
-    Immix_space.create ~id:sp_mature_pcm ~name:"mature-pcm" ~arena:main_arena
+    Immix_space.create ~words ~id:sp_mature_pcm ~name:"mature-pcm" ~arena:main_arena
       ~on_new_region:on_pcm_region ~shards:domains ()
   in
   let los_dram =
     if has_observer then
-      Some (Los.create ~id:sp_los_dram ~name:"los-dram" ~arena:dram_arena)
+      Some (Los.create ~words ~id:sp_los_dram ~name:"los-dram" ~arena:dram_arena)
     else None
   in
-  let los_pcm = Los.create ~id:sp_los_pcm ~name:"los-pcm" ~arena:main_arena in
+  let los_pcm = Los.create ~words ~id:sp_los_pcm ~name:"los-pcm" ~arena:main_arena in
   let remset_buffer = Meta_space.alloc_table meta (Units.mib / 4) in
   let gen_remset =
     Remset.create ~domains ~name:"gen" ~buffer_base:remset_buffer
@@ -212,6 +214,7 @@ let create ?(domains = 1) ~config:cfg ~mem ~map ~seed () =
   in
   {
     cfg;
+    words;
     mem;
     mut_mems;
     domains;
@@ -237,7 +240,6 @@ let create ?(domains = 1) ~config:cfg ~mem ~map ~seed () =
     recent_survival = 0.2;
     gc_hook = (fun _ -> ());
     event_hook = (fun _ -> ());
-    next_id = 1;
     in_major = false;
     pcm_writes_at_last_major = 0;
   }
@@ -293,10 +295,10 @@ let pcm_used t =
 
 (* Traffic of moving an object: the streaming pass lives with the
    object model ({!O.stream_copy}); the allocation into the destination
-   space must already have updated [o.addr]. *)
-let copy_traffic t ~old_addr (o : O.t) = O.stream_copy t.mem ~old_addr o
+   space must already have updated the object's address. *)
+let copy_traffic t ~old_addr o = O.stream_copy t.words t.mem ~old_addr o
 
-let alloc_into_immix _t space (o : O.t) =
+let alloc_into_immix _t space o =
   if not (Immix_space.alloc space o) then
     failwith (Printf.sprintf "Runtime: %s exhausted" (Immix_space.name space))
 
@@ -304,14 +306,16 @@ let alloc_into_immix _t space (o : O.t) =
    count is small (most objects have one or two incoming pointers); we
    charge the slot writes against a random mature resident, which is
    where old-to-young and old-to-old pointers physically live. *)
-let referrer_update_writes t (moved : O.t) =
+let referrer_update_writes t moved =
+  let w = t.words in
   let candidates = Immix_space.objects t.mature_pcm in
   let n = if Rng.bernoulli t.rng 0.3 then 2 else 1 in
   if Vec.length candidates > 0 then
     for _ = 1 to n do
       let r = Vec.get candidates (Rng.int t.rng (Vec.length candidates)) in
-      if r != moved then begin
-        Mem_iface.write t.mem ~addr:(O.field_addr r (Rng.int t.rng 64)) ~size:Layout.word;
+      if r <> moved then begin
+        let slot = Rng.int t.rng 64 mod O.field_slots w r in
+        Mem_iface.write t.mem ~addr:(O.field_addr w r slot) ~size:Layout.word;
         t.stats.Gc_stats.remset_slot_updates <- t.stats.Gc_stats.remset_slot_updates + 1
       end
     done
@@ -327,7 +331,7 @@ let process_remset t rs =
   let st = t.stats in
   Remset.iter rs (fun { Remset.slot_addr; target } ->
       st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
-      if O.is_live target t.now then begin
+      if O.is_live t.words target t.now then begin
         Mem_iface.write t.mem ~addr:slot_addr ~size:Layout.word;
         st.Gc_stats.remset_slot_updates <- st.Gc_stats.remset_slot_updates + 1
       end);
@@ -340,38 +344,41 @@ let los_for_large t =
   (* Baselines and KG-N have a single large object space. *)
   t.los_pcm
 
-let adopt_large t los (o : O.t) =
-  let old_addr = o.addr in
+let adopt_large t los o =
+  let old_addr = O.addr t.words o in
   Los.adopt los o;
   copy_traffic t ~old_addr o
 
 (* Copy a nursery survivor to [dst]; with an observer space the
    destination is the observer, falling back to mature PCM if a
    survival spike overflows it. *)
-let promote_nursery_object t (o : O.t) =
-  let old_addr = o.addr in
+let promote_nursery_object t o =
+  let w = t.words in
+  let old_addr = O.addr w o in
   (match t.observer with
   | Some obs ->
     (* Large survivors also pass through the observer (§4.2.4); they
        only reach large PCM after surviving an observer collection. *)
     if Bump_space.alloc obs o then begin
       copy_traffic t ~old_addr o;
-      t.stats.Gc_stats.observer_in_bytes <- t.stats.Gc_stats.observer_in_bytes + o.size
+      t.stats.Gc_stats.observer_in_bytes <-
+        t.stats.Gc_stats.observer_in_bytes + O.size w o
     end
-    else if O.is_large o then adopt_large t (los_for_large t) o
+    else if O.is_large w o then adopt_large t (los_for_large t) o
     else begin
       alloc_into_immix t t.mature_pcm o;
       copy_traffic t ~old_addr o
     end
   | None ->
-    if O.is_large o then adopt_large t (los_for_large t) o
+    if O.is_large w o then adopt_large t (los_for_large t) o
     else begin
       alloc_into_immix t t.mature_pcm o;
       copy_traffic t ~old_addr o
     end);
-  o.age <- o.age + 1
+  O.set_age w o (min (O.age w o + 1) O.max_age)
 
 let collect_nursery t =
+  let w = t.words in
   let st = t.stats in
   st.Gc_stats.nursery_gcs <- st.Gc_stats.nursery_gcs + 1;
   (* A minor collection is stop-the-world across every domain: all
@@ -384,11 +391,12 @@ let collect_nursery t =
   Array.iter
     (fun nursery ->
       Vec.iter
-        (fun (o : O.t) ->
-          if O.is_live o t.now then begin
+        (fun o ->
+          if O.is_live w o t.now then begin
             promote_nursery_object t o;
-            survived := !survived + o.size;
-            st.Gc_stats.copied_bytes_nursery <- st.Gc_stats.copied_bytes_nursery + o.size
+            let osize = O.size w o in
+            survived := !survived + osize;
+            st.Gc_stats.copied_bytes_nursery <- st.Gc_stats.copied_bytes_nursery + osize
           end)
         (Bump_space.objects nursery);
       Bump_space.reset nursery)
@@ -414,29 +422,31 @@ let collect_nursery t =
    read-mostly survivors to mature PCM, large survivors straight to the
    large PCM space (§4.2.1, §4.2.3, §4.2.4). *)
 let evacuate_observer t obs =
+  let w = t.words in
   let st = t.stats in
   let mature_dram = Option.get t.mature_dram in
   Vec.iter
-    (fun (o : O.t) ->
-      if not (O.is_live o t.now) then Gc_stats.retire st o
+    (fun o ->
+      if not (O.is_live w o t.now) then Gc_stats.retire st w o
       else begin
-        st.Gc_stats.observer_survived_bytes <- st.Gc_stats.observer_survived_bytes + o.size;
-        st.Gc_stats.copied_bytes_observer <- st.Gc_stats.copied_bytes_observer + o.size;
-        let old_addr = o.addr in
-        if O.is_large o then adopt_large t t.los_pcm o
-        else if o.written then begin
+        let osize = O.size w o in
+        st.Gc_stats.observer_survived_bytes <- st.Gc_stats.observer_survived_bytes + osize;
+        st.Gc_stats.copied_bytes_observer <- st.Gc_stats.copied_bytes_observer + osize;
+        let old_addr = O.addr w o in
+        if O.is_large w o then adopt_large t t.los_pcm o
+        else if O.written w o then begin
           alloc_into_immix t mature_dram o;
           copy_traffic t ~old_addr o;
-          o.written <- false;
-          o.epoch_writes <- 0;
-          st.Gc_stats.observer_to_dram_bytes <- st.Gc_stats.observer_to_dram_bytes + o.size
+          O.set_written w o false;
+          O.set_epoch_writes w o 0;
+          st.Gc_stats.observer_to_dram_bytes <- st.Gc_stats.observer_to_dram_bytes + osize
         end
         else begin
           alloc_into_immix t t.mature_pcm o;
           copy_traffic t ~old_addr o;
-          st.Gc_stats.observer_to_pcm_bytes <- st.Gc_stats.observer_to_pcm_bytes + o.size
+          st.Gc_stats.observer_to_pcm_bytes <- st.Gc_stats.observer_to_pcm_bytes + osize
         end;
-        o.age <- o.age + 1
+        O.set_age w o (min (O.age w o + 1) O.max_age)
       end)
     (Bump_space.objects obs);
   Bump_space.reset obs
@@ -470,20 +480,22 @@ let collect_observer t =
 (* Marking a live mature object: trace-read its header and reference
    fields, then record its mark state. MDO redirects the mark write of
    PCM objects above 16 bytes into the DRAM mark table (§4.2.5). *)
-let mark_object t ~(mdo : bool) ~in_pcm (o : O.t) =
+let mark_object t ~(mdo : bool) ~in_pcm o =
+  let w = t.words in
   let st = t.stats in
   st.Gc_stats.scanned_objects <- st.Gc_stats.scanned_objects + 1;
-  Mem_iface.read t.mem ~addr:o.addr
-    ~size:(min o.size (Layout.header_bytes + (o.ref_fields * Layout.word)));
-  o.marked <- true;
-  if mdo && in_pcm && not (O.is_small16 o) then begin
-    let rbase = Immix_space.region_base_of_addr t.mature_pcm o.addr in
+  let oaddr = O.addr w o in
+  Mem_iface.read t.mem ~addr:oaddr
+    ~size:(min (O.size w o) (Layout.header_bytes + (O.ref_fields w o * Layout.word)));
+  O.set_marked w o true;
+  if mdo && in_pcm && not (O.is_small16 w o) then begin
+    let rbase = Immix_space.region_base_of_addr t.mature_pcm oaddr in
     let table = Hashtbl.find t.mdo_tables rbase in
-    Mem_iface.write t.mem ~addr:(table + ((o.addr - rbase) / Layout.small_mark_threshold)) ~size:1;
+    Mem_iface.write t.mem ~addr:(table + ((oaddr - rbase) / Layout.small_mark_threshold)) ~size:1;
     st.Gc_stats.mark_table_writes <- st.Gc_stats.mark_table_writes + 1
   end
   else begin
-    Mem_iface.write t.mem ~addr:o.addr ~size:1;
+    Mem_iface.write t.mem ~addr:oaddr ~size:1;
     st.Gc_stats.mark_header_writes <- st.Gc_stats.mark_header_writes + 1
   end
 
@@ -496,19 +508,23 @@ let sweep_immix t space meta_chunks =
   in
   ignore
     (Immix_space.sweep space ~now:t.now ~write_meta
-       ~on_dead:(fun o -> Gc_stats.retire t.stats o)
+       ~on_dead:(fun o -> Gc_stats.retire t.stats t.words o)
        ())
 
 (* Treadmill collection: snapping a live node rewrites two link words
    in its header, in whatever memory holds the object. *)
 let collect_los t los ~keep =
   let evicted =
-    Los.collect los ~now:t.now ~keep ~on_dead:(fun o -> Gc_stats.retire t.stats o) ()
+    Los.collect los ~now:t.now ~keep
+      ~on_dead:(fun o -> Gc_stats.retire t.stats t.words o)
+      ()
   in
-  Los.iter los (fun o -> Mem_iface.write t.mem ~addr:o.O.addr ~size:(2 * Layout.word));
+  Los.iter los (fun o ->
+      Mem_iface.write t.mem ~addr:(O.addr t.words o) ~size:(2 * Layout.word));
   evicted
 
 let major_gc_inner t =
+  let w = t.words in
   let st = t.stats in
   st.Gc_stats.major_gcs <- st.Gc_stats.major_gcs + 1;
   let work0 = copied_scanned st in
@@ -530,43 +546,43 @@ let major_gc_inner t =
   in
   (* Mark phase over the mature Immix spaces. *)
   Vec.iter
-    (fun (o : O.t) -> if O.is_live o t.now then mark_object t ~mdo ~in_pcm:true o)
+    (fun o -> if O.is_live w o t.now then mark_object t ~mdo ~in_pcm:true o)
     (Immix_space.objects t.mature_pcm);
   (match t.mature_dram with
   | Some s ->
     Vec.iter
-      (fun (o : O.t) -> if O.is_live o t.now then mark_object t ~mdo ~in_pcm:false o)
+      (fun o -> if O.is_live w o t.now then mark_object t ~mdo ~in_pcm:false o)
       (Immix_space.objects s)
   | None -> ());
   (* KG-W movement between mature spaces (§4.2.3). *)
   (match t.mature_dram with
   | Some mature_dram ->
     Vec.iter
-      (fun (o : O.t) ->
-        if O.is_live o t.now && not o.written then begin
-          let old_addr = o.addr in
+      (fun o ->
+        if O.is_live w o t.now && not (O.written w o) then begin
+          let old_addr = O.addr w o in
           alloc_into_immix t t.mature_pcm o;
           copy_traffic t ~old_addr o;
           st.Gc_stats.mature_moves_to_pcm <- st.Gc_stats.mature_moves_to_pcm + 1;
-          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size;
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + O.size w o;
           referrer_update_writes t o
         end)
       (Immix_space.objects mature_dram);
     Vec.iter
-      (fun (o : O.t) ->
-        if O.is_live o t.now && o.written && o.space = sp_mature_pcm then begin
-          let old_addr = o.addr in
+      (fun o ->
+        if O.is_live w o t.now && O.written w o && O.space w o = sp_mature_pcm then begin
+          let old_addr = O.addr w o in
           alloc_into_immix t mature_dram o;
           copy_traffic t ~old_addr o;
           st.Gc_stats.mature_moves_to_dram <- st.Gc_stats.mature_moves_to_dram + 1;
-          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size;
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + O.size w o;
           referrer_update_writes t o
         end)
       (Immix_space.objects t.mature_pcm);
     (* Start a fresh monitoring epoch for the next major cycle. *)
-    let fresh (o : O.t) =
-      o.written <- false;
-      o.epoch_writes <- 0
+    let fresh o =
+      O.set_written w o false;
+      O.set_epoch_writes w o 0
     in
     Vec.iter fresh (Immix_space.objects mature_dram);
     Vec.iter fresh (Immix_space.objects t.mature_pcm)
@@ -578,19 +594,19 @@ let major_gc_inner t =
      treadmill and never come back (§4.2.4). *)
   (match t.los_dram with
   | Some los_dram ->
-    let evicted = collect_los t t.los_pcm ~keep:(fun o -> not o.O.written) in
+    let evicted = collect_los t t.los_pcm ~keep:(fun o -> not (O.written w o)) in
     List.iter
-      (fun (o : O.t) ->
+      (fun o ->
         adopt_large t los_dram o;
-        o.written <- false;
-        o.epoch_writes <- 0;
+        O.set_written w o false;
+        O.set_epoch_writes w o 0;
         st.Gc_stats.los_moves_to_dram <- st.Gc_stats.los_moves_to_dram + 1)
       evicted;
     ignore (collect_los t los_dram ~keep:(fun _ -> true))
   | None -> ignore (collect_los t t.los_pcm ~keep:(fun _ -> true)));
-  Vec.iter (fun (o : O.t) -> o.marked <- false) (Immix_space.objects t.mature_pcm);
+  Vec.iter (fun o -> O.set_marked w o false) (Immix_space.objects t.mature_pcm);
   (match t.mature_dram with
-  | Some s -> Vec.iter (fun (o : O.t) -> o.marked <- false) (Immix_space.objects s)
+  | Some s -> Vec.iter (fun o -> O.set_marked w o false) (Immix_space.objects s)
   | None -> ());
   (* Optional Immix defragmentation (§6.3): evacuate the sparsest
      blocks when fragmentation strands too much partial-block memory.
@@ -603,15 +619,15 @@ let major_gc_inner t =
     in
     (* Detach the victims from the space's population before
        re-allocating them, or they would be registered twice. *)
-    List.iter (fun (o : O.t) -> o.space <- -1) victims;
+    List.iter (fun o -> O.set_space w o (-1)) victims;
     Immix_space.remove_foreign t.mature_pcm;
     List.iter
-      (fun (o : O.t) ->
-        if O.is_live o t.now then begin
-          let old_addr = o.addr in
+      (fun o ->
+        if O.is_live w o t.now then begin
+          let old_addr = O.addr w o in
           alloc_into_immix t t.mature_pcm o;
           copy_traffic t ~old_addr o;
-          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + o.size
+          st.Gc_stats.copied_bytes_major <- st.Gc_stats.copied_bytes_major + O.size w o
         end)
       victims;
     ignore (Immix_space.sweep t.mature_pcm ~now:t.now ())
@@ -695,68 +711,68 @@ let young_gc t =
 (* ------------------------------------------------------------------ *)
 (* Mutator interface                                                   *)
 
-let alloc_large t ~domain (o : O.t) =
+let alloc_large t ~domain o =
+  let w = t.words in
+  let osize = O.size w o in
   let st = t.stats in
   st.Gc_stats.large_allocs <- st.Gc_stats.large_allocs + 1;
-  t.large_alloc_since_gc <- t.large_alloc_since_gc + o.size;
+  t.large_alloc_since_gc <- t.large_alloc_since_gc + osize;
   let nursery = t.nurseries.(domain) in
   let in_nursery_ok =
-    t.loo_enabled && o.size < Bump_space.free_bytes nursery / 2
+    t.loo_enabled && osize < Bump_space.free_bytes nursery / 2
     && Bump_space.alloc nursery o
   in
   if in_nursery_ok then begin
     st.Gc_stats.large_allocs_in_nursery <- st.Gc_stats.large_allocs_in_nursery + 1;
-    st.Gc_stats.nursery_alloc_bytes <- st.Gc_stats.nursery_alloc_bytes + o.size
+    st.Gc_stats.nursery_alloc_bytes <- st.Gc_stats.nursery_alloc_bytes + osize
   end
   else if not (Los.alloc (los_for_large t) o) then
     failwith "Runtime: large object space exhausted"
 
-let rec alloc_small t ~domain (o : O.t) =
+let rec alloc_small t ~domain o =
   if not (Bump_space.alloc t.nurseries.(domain) o) then begin
     young_gc t;
     alloc_small t ~domain o
   end
   else begin
-    t.stats.Gc_stats.nursery_alloc_bytes <- t.stats.Gc_stats.nursery_alloc_bytes + o.size;
-    t.nursery_alloc_since_gc <- t.nursery_alloc_since_gc + o.size
+    let osize = O.size t.words o in
+    t.stats.Gc_stats.nursery_alloc_bytes <- t.stats.Gc_stats.nursery_alloc_bytes + osize;
+    t.nursery_alloc_since_gc <- t.nursery_alloc_since_gc + osize
   end
-
-let fresh_id t =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  id
 
 let alloc ?(domain = 0) t ~size ~heat ~death ~ref_fields =
   let size = Layout.align_object_size size in
-  let o = O.make ~id:(fresh_id t) ~size ~heat ~death ~ref_fields in
-  if O.is_large o then alloc_large t ~domain o else alloc_small t ~domain o;
-  O.stream_init (mut_mem t domain) o;
+  let o = O.make t.words ~size ~heat ~death ~ref_fields in
+  if O.is_large t.words o then alloc_large t ~domain o else alloc_small t ~domain o;
+  O.stream_init t.words (mut_mem t domain) o;
   t.now <- t.now +. float_of_int size;
   maybe_major t;
-  t.event_hook (Trace.Alloc { id = o.id; size = o.size; heat; death; ref_fields });
+  t.event_hook (Trace.Alloc { id = O.id o; size; heat; death; ref_fields });
   o
 
 let alloc_boot t ~size ~heat ~ref_fields =
   let size = Layout.align_object_size size in
-  let o = O.make ~id:(fresh_id t) ~size ~heat ~death:infinity ~ref_fields in
-  if O.is_large o then begin
+  let o = O.make t.words ~size ~heat ~death:infinity ~ref_fields in
+  if O.is_large t.words o then begin
     if not (Los.alloc t.los_pcm o) then failwith "Runtime: large object space exhausted"
   end
   else alloc_into_immix t t.mature_pcm o;
-  o.age <- 1;
-  O.stream_init t.mem o;
+  O.set_age t.words o 1;
+  O.stream_init t.words t.mem o;
   t.now <- t.now +. float_of_int size;
-  t.event_hook (Trace.Alloc_boot { id = o.id; size = o.size; heat; ref_fields });
+  t.event_hook (Trace.Alloc_boot { id = O.id o; size; heat; ref_fields });
   o
 
-let classify_app_write t (o : O.t) slot_addr =
+let classify_app_write t o slot_addr =
+  let w = t.words in
   let st = t.stats in
+  let sp = O.space w o in
   (* Per-object counts feed the Figure 2 concentration analysis, which
      considers only writes received outside the nursery. *)
-  if o.space <> sp_nursery then o.writes <- o.writes + 1;
-  if o.space = sp_nursery then
+  if sp <> sp_nursery then O.set_writes w o (min (O.writes w o + 1) O.max_writes);
+  if sp = sp_nursery then
     st.Gc_stats.app_writes_nursery <- st.Gc_stats.app_writes_nursery + 1
-  else if o.space = sp_observer then
+  else if sp = sp_observer then
     st.Gc_stats.app_writes_observer <- st.Gc_stats.app_writes_observer + 1
   else st.Gc_stats.app_writes_mature <- st.Gc_stats.app_writes_mature + 1;
   match Kg_mem.Address_map.kind_of t.map slot_addr with
@@ -769,15 +785,17 @@ let classify_app_write t (o : O.t) slot_addr =
    to a non-nursery object also sets the write word in its header.
    [mem] is the issuing domain's port (the runtime's own port when the
    GC itself monitors). *)
-let monitor_write ?mem t (o : O.t) =
+let monitor_write ?mem t o =
+  let w = t.words in
   let mem = Option.value mem ~default:t.mem in
-  if o.space <> sp_nursery then begin
+  if O.space w o <> sp_nursery then begin
     (* The write word records a count; "written" for placement means
        reaching the configured threshold (1 reproduces the paper's
        single bit; higher values are the counting extension). *)
-    o.epoch_writes <- o.epoch_writes + 1;
-    if o.epoch_writes >= t.cfg.Gc_config.write_threshold then o.written <- true;
-    Mem_iface.write mem ~addr:(o.addr + Layout.header_bytes) ~size:Layout.word;
+    let ew = min (O.epoch_writes w o + 1) O.max_epoch_writes in
+    O.set_epoch_writes w o ew;
+    if ew >= t.cfg.Gc_config.write_threshold then O.set_written w o true;
+    Mem_iface.write mem ~addr:(O.addr w o + Layout.header_bytes) ~size:Layout.word;
     t.stats.Gc_stats.monitor_header_writes <- t.stats.Gc_stats.monitor_header_writes + 1
   end
 
@@ -789,22 +807,28 @@ let remset_note t rs ~domain ~slot_addr ~target =
   if t.domains = 1 then Remset.insert rs ~slot_addr ~target
   else Remset.record rs ~domain ~slot_addr ~target
 
+(* The i-th field slot the barrier touches: uniform over [0, 64) like
+   the record heap, wrapped into the object's payload. *)
+let[@inline] pick_slot t o =
+  Rng.int t.rng 64 mod O.field_slots t.words o
+
 let write_ref ?(domain = 0) t ~src ~tgt =
-  t.event_hook (Trace.Write_ref { src = src.O.id; tgt = tgt.O.id });
+  let w = t.words in
+  t.event_hook (Trace.Write_ref { src = O.id src; tgt = O.id tgt });
   let st = t.stats in
   let mem = mut_mem t domain in
   st.Gc_stats.ref_writes <- st.Gc_stats.ref_writes + 1;
-  let slot_addr = O.field_addr src (Rng.int t.rng 64) in
+  let slot_addr = O.field_addr w src (pick_slot t src) in
   classify_app_write t src slot_addr;
   let slow = ref false in
-  if src.O.space <> sp_nursery && tgt.O.space = sp_nursery then begin
+  if O.space w src <> sp_nursery && O.space w tgt = sp_nursery then begin
     let maddr = remset_note t t.gen_remset ~domain ~slot_addr ~target:tgt in
     Mem_iface.write mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.gen_remset_inserts <- st.Gc_stats.gen_remset_inserts + 1;
     slow := true
   end;
   (match t.obs_remset with
-  | Some rs when src.O.space > sp_observer && tgt.O.space <= sp_observer ->
+  | Some rs when O.space w src > sp_observer && O.space w tgt <= sp_observer ->
     let maddr = remset_note t rs ~domain ~slot_addr ~target:tgt in
     Mem_iface.write mem ~addr:maddr ~size:Layout.word;
     st.Gc_stats.obs_remset_inserts <- st.Gc_stats.obs_remset_inserts + 1;
@@ -818,34 +842,38 @@ let write_ref ?(domain = 0) t ~src ~tgt =
   if not !slow then st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1;
   Mem_iface.write mem ~addr:slot_addr ~size:Layout.word
 
-let write_prim ?(domain = 0) t (o : O.t) =
-  t.event_hook (Trace.Write_prim { obj = o.id });
+let write_prim ?(domain = 0) t o =
+  let w = t.words in
+  t.event_hook (Trace.Write_prim { obj = O.id o });
   let st = t.stats in
   let mem = mut_mem t domain in
   st.Gc_stats.prim_writes <- st.Gc_stats.prim_writes + 1;
-  let slot_addr = O.field_addr o (Rng.int t.rng 64) in
+  let slot_addr = O.field_addr w o (pick_slot t o) in
   classify_app_write t o slot_addr;
   (match t.cfg.Gc_config.collector with
   | Gc_config.Kg_writers { pm = true; _ } -> monitor_write ~mem t o
   | _ -> st.Gc_stats.barrier_fast_paths <- st.Gc_stats.barrier_fast_paths + 1);
   Mem_iface.write mem ~addr:slot_addr ~size:Layout.word
 
-let read_obj ?(domain = 0) t (o : O.t) =
-  t.event_hook (Trace.Read { obj = o.id });
+let read_obj ?(domain = 0) t o =
+  t.event_hook (Trace.Read { obj = O.id o });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + 1;
-  Mem_iface.read (mut_mem t domain) ~addr:(O.field_addr o (Rng.int t.rng 64))
+  Mem_iface.read (mut_mem t domain)
+    ~addr:(O.field_addr t.words o (pick_slot t o))
     ~size:Layout.word
 
-let read_burst ?(domain = 0) t (o : O.t) n =
-  t.event_hook (Trace.Read_burst { obj = o.id; words = n });
+let read_burst ?(domain = 0) t o n =
+  let w = t.words in
+  t.event_hook (Trace.Read_burst { obj = O.id o; words = n });
   t.stats.Gc_stats.reads <- t.stats.Gc_stats.reads + n;
-  let addr = O.field_addr o (Rng.int t.rng 64) in
-  let size = min (n * Layout.word) (o.size - (addr - o.addr)) in
+  let addr = O.field_addr w o (pick_slot t o) in
+  let size = min (n * Layout.word) (O.size w o - (addr - O.addr w o)) in
   Mem_iface.read (mut_mem t domain) ~addr ~size:(max Layout.word size)
 
 let flush_retirement_stats t =
+  let w = t.words in
   let st = t.stats in
-  let each (o : O.t) = if O.is_live o t.now then Gc_stats.retire st o in
+  let each o = if O.is_live w o t.now then Gc_stats.retire st w o in
   Vec.iter each (Immix_space.objects t.mature_pcm);
   (match t.mature_dram with Some s -> Vec.iter each (Immix_space.objects s) | None -> ());
   (match t.observer with Some obs -> Vec.iter each (Bump_space.objects obs) | None -> ());
@@ -855,29 +883,30 @@ let flush_retirement_stats t =
 let nursery_free ?(domain = 0) t = Bump_space.free_bytes t.nurseries.(domain)
 
 let check_invariants t =
+  let w = t.words in
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let check_population name expected_id objs =
     Vec.fold
-      (fun acc (o : O.t) ->
+      (fun acc o ->
         match acc with
         | Error _ -> acc
         | Ok () ->
-          if o.space <> expected_id then
-            fail "%s holds object at %#x with space id %d (expected %d)" name o.addr o.space
-              expected_id
-          else if o.addr < 0 then fail "%s holds an unallocated object" name
+          if O.space w o <> expected_id then
+            fail "%s holds object at %#x with space id %d (expected %d)" name
+              (O.addr w o) (O.space w o) expected_id
+          else if O.addr w o < 0 then fail "%s holds an unallocated object" name
           else Ok ())
       (Ok ()) objs
   in
   let no_overlap name objs =
     let live =
-      Vec.fold (fun acc (o : O.t) -> if O.is_live o t.now then o :: acc else acc) [] objs
+      Vec.fold (fun acc o -> if O.is_live w o t.now then o :: acc else acc) [] objs
     in
-    let sorted = List.sort (fun (a : O.t) b -> compare a.addr b.addr) live in
+    let sorted = List.sort (fun a b -> compare (O.addr w a) (O.addr w b)) live in
     let rec go = function
-      | (a : O.t) :: (b : O.t) :: rest ->
-        if O.end_addr a > b.addr then
-          fail "%s: live objects overlap at %#x and %#x" name a.addr b.addr
+      | a :: b :: rest ->
+        if O.end_addr w a > O.addr w b then
+          fail "%s: live objects overlap at %#x and %#x" name (O.addr w a) (O.addr w b)
         else go (b :: rest)
       | _ -> Ok ()
     in

@@ -56,6 +56,12 @@ val create :
 
 val config : t -> Gc_config.t
 val stats : t -> Gc_stats.t
+
+val words : t -> Kg_heap.Object_model.store
+(** The flat-word heap store holding every object's packed metadata;
+    all {!Kg_heap.Object_model} accessors on objects of this runtime
+    go through it. *)
+
 val now : t -> float
 (** Allocation clock: bytes allocated so far. *)
 
@@ -135,10 +141,10 @@ val set_event_hook : t -> (Trace.event -> unit) -> unit
     half of the deterministic trace/replay subsystem. The default hook
     discards events. *)
 
-val is_young : Kg_heap.Object_model.t -> bool
+val is_young : t -> Kg_heap.Object_model.t -> bool
 (** In the nursery or observer space. *)
 
-val in_nursery : Kg_heap.Object_model.t -> bool
+val in_nursery : t -> Kg_heap.Object_model.t -> bool
 
 val object_in_pcm : t -> Kg_heap.Object_model.t -> bool
 (** Does the object currently reside in a PCM-backed space? *)

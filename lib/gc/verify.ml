@@ -52,14 +52,15 @@ let populations rt =
     ]
 
 let live_census rt =
+  let w = Runtime.words rt in
   let now = Runtime.now rt in
   let count = ref 0 and bytes = ref 0 in
   List.iter
     (fun p ->
-      p.p_iter (fun (o : O.t) ->
-          if O.is_live o now then begin
+      p.p_iter (fun o ->
+          if O.is_live w o now then begin
             incr count;
-            bytes := !bytes + o.size
+            bytes := !bytes + O.size w o
           end))
     (populations rt);
   (!count, !bytes)
@@ -74,6 +75,7 @@ let audit ?counters ?(phase = Phase.Application) rt =
     Printf.ksprintf (fun detail -> vs := { phase; invariant; detail } :: !vs) fmt
   in
   let st = Runtime.stats rt in
+  let w = Runtime.words rt in
   let map = Runtime.address_map rt in
   let now = Runtime.now rt in
   let pops = populations rt in
@@ -85,31 +87,33 @@ let audit ?counters ?(phase = Phase.Application) rt =
   let seen = Hashtbl.create 4096 in
   List.iter
     (fun p ->
-      p.p_iter (fun (o : O.t) ->
-          if o.space <> p.p_id then
-            add "space-id" "%s holds object %d with space id %d (expected %d)" p.p_name o.id
-              o.space p.p_id;
-          if o.addr < 0 then add "placement" "%s holds unallocated object %d" p.p_name o.id
+      p.p_iter (fun o ->
+          let oid = O.id o in
+          let oaddr = O.addr w o and osize = O.size w o in
+          if O.space w o <> p.p_id then
+            add "space-id" "%s holds object %d with space id %d (expected %d)" p.p_name oid
+              (O.space w o) p.p_id;
+          if oaddr < 0 then add "placement" "%s holds unallocated object %d" p.p_name oid
           else begin
-            (match Map.kind_of map o.addr with
+            (match Map.kind_of map oaddr with
             | k when k <> p.p_kind ->
-              add "placement" "object %d at %#x is on %s but %s is a %s space" o.id o.addr
+              add "placement" "object %d at %#x is on %s but %s is a %s space" oid oaddr
                 (Device.kind_to_string k) p.p_name (Device.kind_to_string p.p_kind)
             | _ -> ()
             | exception Invalid_argument _ ->
-              add "placement" "object %d at %#x lies outside the address map" o.id o.addr);
-            match Map.kind_of map (o.addr + o.size - 1) with
+              add "placement" "object %d at %#x lies outside the address map" oid oaddr);
+            match Map.kind_of map (oaddr + osize - 1) with
             | k when k <> p.p_kind ->
-              add "placement" "object %d (%#x..%#x) straddles devices" o.id o.addr
-                (o.addr + o.size - 1)
+              add "placement" "object %d (%#x..%#x) straddles devices" oid oaddr
+                (oaddr + osize - 1)
             | _ -> ()
             | exception Invalid_argument _ ->
-              add "placement" "object %d at %#x extends outside the address map" o.id o.addr
+              add "placement" "object %d at %#x extends outside the address map" oid oaddr
           end;
-          match Hashtbl.find_opt seen o.id with
+          match Hashtbl.find_opt seen oid with
           | Some other ->
-            add "unique-residence" "object %d resides in both %s and %s" o.id other p.p_name
-          | None -> Hashtbl.add seen o.id p.p_name))
+            add "unique-residence" "object %d resides in both %s and %s" oid other p.p_name
+          | None -> Hashtbl.add seen oid p.p_name))
     pops;
 
   (* I2: bump spaces are contiguous — residents in allocation order
@@ -117,11 +121,11 @@ let audit ?counters ?(phase = Phase.Application) rt =
   let check_bump name sp =
     let cursor = ref (Bump.base sp) in
     Vec.iter
-      (fun (o : O.t) ->
-        if o.addr <> !cursor then
-          add "bump-contiguity" "%s object %d sits at %#x, expected %#x" name o.id o.addr
-            !cursor;
-        cursor := o.addr + o.size)
+      (fun o ->
+        if O.addr w o <> !cursor then
+          add "bump-contiguity" "%s object %d sits at %#x, expected %#x" name (O.id o)
+            (O.addr w o) !cursor;
+        cursor := O.end_addr w o)
       (Bump.objects sp);
     let extent = !cursor - Bump.base sp in
     if extent <> Bump.used_bytes sp then
@@ -144,8 +148,8 @@ let audit ?counters ?(phase = Phase.Application) rt =
   (* LOS occupancy accounting matches its treadmill population. *)
   let check_los name l =
     let bytes = ref 0 and count = ref 0 in
-    Los.iter l (fun (o : O.t) ->
-        bytes := !bytes + o.size;
+    Los.iter l (fun o ->
+        bytes := !bytes + O.size w o;
         incr count);
     if !bytes <> Los.live_bytes l then
       add "los-occupancy" "%s live_bytes %d disagrees with resident bytes %d" name
@@ -222,9 +226,12 @@ let audit ?counters ?(phase = Phase.Application) rt =
         (Phase.to_string phase)
   | Phase.Nursery_gc, Some rs ->
     Remset.iter rs (fun e ->
-        if O.is_live e.Remset.target now && e.Remset.target.space = Runtime.sp_nursery then
+        if
+          O.is_live w e.Remset.target now
+          && O.space w e.Remset.target = Runtime.sp_nursery
+        then
           add "remset" "observer remset slot %#x still targets live nursery object %d after a nursery collection"
-            e.Remset.slot_addr e.Remset.target.id)
+            e.Remset.slot_addr (O.id e.Remset.target))
   | _ -> ());
   if Remset.total_inserts gen < st.Gc_stats.gen_remset_inserts then
     add "remset" "generational remset lifetime inserts %d below the statistics' %d"

@@ -14,15 +14,18 @@ let create ~kind ~base ~size =
 
 let kind t = t.kind
 
-let reserve t bytes =
+let reserve ?(who = "?") t bytes =
   let bytes = Layout.align_up bytes Layout.page in
   Mutex.lock t.lock;
   if t.cursor + bytes > t.limit then begin
     let left = t.limit - t.cursor in
+    let reserved = t.cursor - t.base in
     Mutex.unlock t.lock;
     failwith
-      (Printf.sprintf "Arena.reserve: %s arena exhausted (%d requested, %d left)"
-         (Kg_mem.Device.kind_to_string t.kind) bytes left)
+      (Printf.sprintf
+         "Arena.reserve: %s arena exhausted (%s requested %d, %d left; %d reserved of %d limit)"
+         (Kg_mem.Device.kind_to_string t.kind) who bytes left reserved
+         (t.limit - t.base))
   end;
   let addr = t.cursor in
   t.cursor <- t.cursor + bytes;

@@ -13,9 +13,12 @@ val create : kind:Kg_mem.Device.kind -> base:int -> size:int -> t
 
 val kind : t -> Kg_mem.Device.kind
 
-val reserve : t -> int -> int
-(** [reserve t bytes] returns the base address of a fresh page-aligned
-    range. Raises [Failure] when the arena is exhausted. *)
+val reserve : ?who:string -> t -> int -> int
+(** [reserve ?who t bytes] returns the base address of a fresh
+    page-aligned range. [who] names the requesting space for
+    diagnostics. Raises [Failure] when the arena is exhausted; the
+    message reports the requester, the rounded request, the bytes
+    left, and the reserved-of-limit occupancy. *)
 
 val reserved_bytes : t -> int
 val remaining : t -> int

@@ -1,20 +1,23 @@
 open Kg_util
+module O = Object_model
 
 type t = {
   id : int;
   name : string;
+  words : O.store;
   base : int;
   limit : int;
   kind : Kg_mem.Device.kind;
   mutable cursor : int;
-  objects : Object_model.t Vec.t;
+  objects : O.t Vec.t;
 }
 
-let create ~id ~name ~arena ~size =
-  let base = Arena.reserve arena size in
+let create ~words ~id ~name ~arena ~size =
+  let base = Arena.reserve ~who:name arena size in
   {
     id;
     name;
+    words;
     base;
     limit = base + size;
     kind = Arena.kind arena;
@@ -28,12 +31,14 @@ let size t = t.limit - t.base
 let base t = t.base
 let kind t = t.kind
 
-let alloc t (o : Object_model.t) =
-  if t.cursor + o.size > t.limit then false
+let alloc t o =
+  let w = t.words in
+  let osize = O.size w o in
+  if t.cursor + osize > t.limit then false
   else begin
-    o.addr <- t.cursor;
-    o.space <- t.id;
-    t.cursor <- t.cursor + o.size;
+    O.set_addr w o t.cursor;
+    O.set_space w o t.id;
+    t.cursor <- t.cursor + osize;
     Vec.push t.objects o;
     true
   end
@@ -49,4 +54,5 @@ let reset t =
   t.cursor <- t.base
 
 let live_bytes t ~now =
-  Vec.fold (fun acc o -> if Object_model.is_live o now then acc + o.Object_model.size else acc) 0 t.objects
+  let w = t.words in
+  Vec.fold (fun acc o -> if O.is_live w o now then acc + O.size w o else acc) 0 t.objects

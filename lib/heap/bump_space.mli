@@ -1,13 +1,17 @@
 (** Contiguous bump-pointer space: the copying nursery and the KG-W
     observer space.
 
-    Holds the resident object population; the collector copies
-    survivors out and [reset] recycles the whole region. *)
+    Holds the resident object population (as flat-word indices into
+    the store given at creation); the collector copies survivors out
+    and [reset] recycles the whole region. *)
 
 type t
 
-val create : id:int -> name:string -> arena:Arena.t -> size:int -> t
-(** Reserve [size] bytes from [arena]. *)
+val create :
+  words:Object_model.store ->
+  id:int -> name:string -> arena:Arena.t -> size:int -> t
+(** Reserve [size] bytes from [arena]; object metadata lives in
+    [words]. *)
 
 val id : t -> int
 val name : t -> string

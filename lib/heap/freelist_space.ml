@@ -1,4 +1,5 @@
 open Kg_util
+module O = Object_model
 
 (* Word-spaced classes up to 128 B, then geometric to the small-object
    limit: the MMTk mark-sweep class ladder. *)
@@ -9,20 +10,22 @@ let size_classes =
 type t = {
   id : int;
   name : string;
+  words : O.store;
   arena : Arena.t;
   free : int list array;  (* per-class free cell addresses *)
   mutable footprint : int;
   mutable live : int;
   mutable cells : int;  (* bytes occupied counted in cell sizes *)
   mutable nfree : int;
-  objects : Object_model.t Vec.t;
-  class_of_obj : (int, int) Hashtbl.t;  (* object id is unusable (always 0); key by address *)
+  objects : O.t Vec.t;
+  class_of_obj : (int, int) Hashtbl.t;  (* keyed by cell address *)
 }
 
-let create ~id ~name ~arena =
+let create ~words ~id ~name ~arena =
   {
     id;
     name;
+    words;
     arena;
     free = Array.make (Array.length size_classes) [];
     footprint = 0;
@@ -49,7 +52,7 @@ let class_index size =
 let grow_class t ci =
   if Arena.remaining t.arena < Layout.block then false
   else begin
-    let base = Arena.reserve t.arena Layout.block in
+    let base = Arena.reserve ~who:t.name t.arena Layout.block in
     t.footprint <- t.footprint + Layout.block;
     let cell = size_classes.(ci) in
     let n = Layout.block / cell in
@@ -60,15 +63,17 @@ let grow_class t ci =
     true
   end
 
-let rec alloc t (o : Object_model.t) =
-  let ci = class_index o.size in
+let rec alloc t o =
+  let w = t.words in
+  let osize = O.size w o in
+  let ci = class_index osize in
   match t.free.(ci) with
   | addr :: rest ->
     t.free.(ci) <- rest;
     t.nfree <- t.nfree - 1;
-    o.addr <- addr;
-    o.space <- t.id;
-    t.live <- t.live + o.size;
+    O.set_addr w o addr;
+    O.set_space w o t.id;
+    t.live <- t.live + osize;
     t.cells <- t.cells + size_classes.(ci);
     Hashtbl.replace t.class_of_obj addr ci;
     Vec.push t.objects o;
@@ -76,23 +81,25 @@ let rec alloc t (o : Object_model.t) =
   | [] -> grow_class t ci && alloc t o
 
 let sweep t ~now ?(on_dead = fun _ -> ()) () =
+  let w = t.words in
   let reclaimed = ref 0 in
   Vec.filter_in_place
-    (fun (o : Object_model.t) ->
-      if o.space <> t.id then false
-      else if Object_model.is_live o now then true
+    (fun o ->
+      if O.space w o <> t.id then false
+      else if O.is_live w o now then true
       else begin
+        let oaddr = O.addr w o and osize = O.size w o in
         let ci =
-          match Hashtbl.find_opt t.class_of_obj o.addr with
+          match Hashtbl.find_opt t.class_of_obj oaddr with
           | Some ci -> ci
-          | None -> class_index o.size
+          | None -> class_index osize
         in
-        Hashtbl.remove t.class_of_obj o.addr;
-        t.free.(ci) <- o.addr :: t.free.(ci);
+        Hashtbl.remove t.class_of_obj oaddr;
+        t.free.(ci) <- oaddr :: t.free.(ci);
         t.nfree <- t.nfree + 1;
-        t.live <- t.live - o.size;
+        t.live <- t.live - osize;
         t.cells <- t.cells - size_classes.(ci);
-        reclaimed := !reclaimed + o.size;
+        reclaimed := !reclaimed + osize;
         on_dead o;
         false
       end)

@@ -18,7 +18,8 @@ val size_classes : int array
 (** Cell sizes in bytes, ascending; requests round up to the next
     class (the last class is the 8 KB small-object limit). *)
 
-val create : id:int -> name:string -> arena:Arena.t -> t
+val create :
+  words:Object_model.store -> id:int -> name:string -> arena:Arena.t -> t
 
 val id : t -> int
 val name : t -> string

@@ -1,4 +1,5 @@
 open Kg_util
+module O = Object_model
 
 type block = {
   b_base : int;
@@ -34,6 +35,7 @@ type shard = {
 type t = {
   id : int;
   name : string;
+  words : O.store;
   arena : Arena.t;
   on_new_region : base:int -> unit;
   blocks : block Vec.t;
@@ -41,7 +43,7 @@ type t = {
   mutable avail : block list;  (* allocation order: recyclable then free *)
   shards : shard array;
   registry : Mutex.t;  (* guards avail, arena growth, objects, live_bytes *)
-  objects : Object_model.t Vec.t;
+  objects : O.t Vec.t;
   mutable live_bytes : int;
   mutable allocs_since_sweep : int;
 }
@@ -51,11 +53,12 @@ let blocks_per_region = Layout.mature_region / Layout.block
 let fresh_shard () =
   { cur = None; scan_line = 0; cursor = 0; cursor_limit = 0; lock = Mutex.create () }
 
-let create ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) ?(shards = 1) () =
+let create ~words ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) ?(shards = 1) () =
   if shards <= 0 then invalid_arg "Immix_space.create: shards must be positive";
   {
     id;
     name;
+    words;
     arena;
     on_new_region;
     blocks = Vec.create ();
@@ -79,7 +82,7 @@ let region_bases t = Array.copy t.region_bases
 let meta_bytes_per_block = Layout.lines_per_block
 
 let grow_region t =
-  let base = Arena.reserve t.arena Layout.mature_region in
+  let base = Arena.reserve ~who:t.name t.arena Layout.mature_region in
   t.region_bases <- Array.append t.region_bases [| base |];
   Array.sort compare t.region_bases;
   let fresh = ref [] in
@@ -149,13 +152,15 @@ let rec refill t sh =
     | None -> false
   end
 
-let rec alloc_in t sh (o : Object_model.t) =
-  if sh.cursor + o.size <= sh.cursor_limit then begin
-    o.addr <- sh.cursor;
-    o.space <- t.id;
-    sh.cursor <- sh.cursor + o.size;
+let rec alloc_in t sh o =
+  let w = t.words in
+  let osize = O.size w o in
+  if sh.cursor + osize <= sh.cursor_limit then begin
+    O.set_addr w o sh.cursor;
+    O.set_space w o t.id;
+    sh.cursor <- sh.cursor + osize;
     Mutex.lock t.registry;
-    t.live_bytes <- t.live_bytes + o.size;
+    t.live_bytes <- t.live_bytes + osize;
     t.allocs_since_sweep <- t.allocs_since_sweep + 1;
     Vec.push t.objects o;
     Mutex.unlock t.registry;
@@ -164,8 +169,9 @@ let rec alloc_in t sh (o : Object_model.t) =
   else if refill t sh then alloc_in t sh o
   else false
 
-let alloc ?(shard = 0) t (o : Object_model.t) =
-  if o.size > Layout.max_small_object then invalid_arg "Immix_space.alloc: large object";
+let alloc ?(shard = 0) t o =
+  if O.size t.words o > Layout.max_small_object then
+    invalid_arg "Immix_space.alloc: large object";
   let sh = t.shards.(shard) in
   Mutex.lock sh.lock;
   let ok = alloc_in t sh o in
@@ -203,10 +209,12 @@ let block_of_addr t addr =
   let b = Vec.get t.blocks (region_block0 + ((addr - base) / Layout.block)) in
   b
 
-let mark_lines t (o : Object_model.t) =
-  let b = block_of_addr t o.addr in
-  let first = (o.addr - b.b_base) / Layout.line in
-  let last = (o.addr + o.size - 1 - b.b_base) / Layout.line in
+let mark_lines t o =
+  let w = t.words in
+  let oaddr = O.addr w o and osize = O.size w o in
+  let b = block_of_addr t oaddr in
+  let first = (oaddr - b.b_base) / Layout.line in
+  let last = (oaddr + osize - 1 - b.b_base) / Layout.line in
   for l = first to min last (Layout.lines_per_block - 1) do
     if Bytes.get b.line_marks l = '\000' then begin
       Bytes.set b.line_marks l '\001';
@@ -215,7 +223,8 @@ let mark_lines t (o : Object_model.t) =
   done
 
 let remove_foreign t =
-  Vec.filter_in_place (fun (o : Object_model.t) -> o.space = t.id) t.objects
+  let w = t.words in
+  Vec.filter_in_place (fun o -> O.space w o = t.id) t.objects
 
 let recyclable_free_lines t =
   Vec.fold
@@ -241,6 +250,7 @@ let defrag_candidates t ~max_bytes =
   (* Rank recyclable blocks emptiest-first (fewest marked lines), then
      take their residents until the budget is spent: moving the fewest
      objects frees the most blocks, as Immix does. *)
+  let w = t.words in
   let sparse =
     Vec.fold
       (fun acc (b : block) ->
@@ -249,8 +259,9 @@ let defrag_candidates t ~max_bytes =
       [] t.blocks
   in
   let sparse = List.sort (fun (a : block) b -> compare a.marked_lines b.marked_lines) sparse in
-  let in_block (b : block) (o : Object_model.t) =
-    o.addr >= b.b_base && o.addr < b.b_base + Layout.block
+  let in_block (b : block) o =
+    let oaddr = O.addr w o in
+    oaddr >= b.b_base && oaddr < b.b_base + Layout.block
   in
   let budget = ref max_bytes in
   let picked = ref [] in
@@ -258,10 +269,10 @@ let defrag_candidates t ~max_bytes =
     (fun b ->
       if !budget > 0 then
         Vec.iter
-          (fun (o : Object_model.t) ->
+          (fun o ->
             if in_block b o && !budget > 0 then begin
               picked := o :: !picked;
-              budget := !budget - o.size
+              budget := !budget - O.size w o
             end)
           t.objects)
     sparse;
@@ -277,10 +288,12 @@ let count_marked (b : block) =
   done;
   !c
 
-let lines_of (o : Object_model.t) (b : block) =
-  ((o.addr - b.b_base) / Layout.line, (o.addr + o.size - 1 - b.b_base) / Layout.line)
+let lines_of w o (b : block) =
+  let oaddr = O.addr w o and osize = O.size w o in
+  ((oaddr - b.b_base) / Layout.line, (oaddr + osize - 1 - b.b_base) / Layout.line)
 
 let audit t =
+  let w = t.words in
   let errs = ref [] in
   let err fmt =
     Printf.ksprintf (fun m -> errs := Printf.sprintf "%s: %s" t.name m :: !errs) fmt
@@ -290,18 +303,19 @@ let audit t =
      and occupancy accounting. *)
   let size_sum = ref 0 in
   Vec.iter
-    (fun (o : Object_model.t) ->
-      size_sum := !size_sum + o.size;
-      if o.space <> t.id then
-        err "object %d at %#x has space id %d, not %d" o.id o.addr o.space t.id;
-      if o.addr < 0 then err "object %d is unallocated (addr %d)" o.id o.addr
+    (fun o ->
+      let oaddr = O.addr w o and osize = O.size w o and osp = O.space w o in
+      size_sum := !size_sum + osize;
+      if osp <> t.id then
+        err "object %d at %#x has space id %d, not %d" (O.id o) oaddr osp t.id;
+      if oaddr < 0 then err "object %d is unallocated (addr %d)" (O.id o) oaddr
       else
-        match block_of_addr t o.addr with
+        match block_of_addr t oaddr with
         | exception Invalid_argument _ ->
-          err "object %d at %#x lies outside the space's regions" o.id o.addr
+          err "object %d at %#x lies outside the space's regions" (O.id o) oaddr
         | b ->
-          if o.addr + o.size > b.b_base + Layout.block then
-            err "object %d at %#x (%d B) crosses a block boundary" o.id o.addr o.size)
+          if oaddr + osize > b.b_base + Layout.block then
+            err "object %d at %#x (%d B) crosses a block boundary" (O.id o) oaddr osize)
     t.objects;
   if !size_sum <> t.live_bytes then
     err "live_bytes %d disagrees with resident object bytes %d" t.live_bytes !size_sum;
@@ -319,12 +333,12 @@ let audit t =
   if t.allocs_since_sweep = 0 then begin
     let expected = Array.init (Vec.length t.blocks) (fun _ -> Bytes.make Layout.lines_per_block '\000') in
     Vec.iter
-      (fun (o : Object_model.t) ->
-        if o.addr >= 0 then
-          match block_of_addr t o.addr with
+      (fun o ->
+        if O.addr w o >= 0 then
+          match block_of_addr t (O.addr w o) with
           | exception Invalid_argument _ -> ()
           | b ->
-            let first, last = lines_of o b in
+            let first, last = lines_of w o b in
             for l = first to min last (Layout.lines_per_block - 1) do
               Bytes.set expected.(b.b_index) l '\001'
             done)
@@ -346,14 +360,15 @@ let audit t =
   List.rev !errs
 
 let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = fun _ -> ()) () =
+  let w = t.words in
   let swept_objects = ref 0 and swept_bytes = ref 0 in
   Vec.filter_in_place
-    (fun (o : Object_model.t) ->
-      if o.space <> t.id then false
-      else if Object_model.is_live o now then true
+    (fun o ->
+      if O.space w o <> t.id then false
+      else if O.is_live w o now then true
       else begin
         incr swept_objects;
-        swept_bytes := !swept_bytes + o.size;
+        swept_bytes := !swept_bytes + O.size w o;
         on_dead o;
         false
       end)
@@ -365,8 +380,8 @@ let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = f
     t.blocks;
   let live = ref 0 in
   Vec.iter
-    (fun (o : Object_model.t) ->
-      live := !live + o.size;
+    (fun o ->
+      live := !live + O.size w o;
       mark_lines t o)
     t.objects;
   t.live_bytes <- !live;

@@ -30,6 +30,7 @@ type sweep_stats = {
 }
 
 val create :
+  words:Object_model.store ->
   id:int ->
   name:string ->
   arena:Arena.t ->

@@ -10,7 +10,8 @@
 
 type t
 
-val create : id:int -> name:string -> arena:Arena.t -> t
+val create :
+  words:Object_model.store -> id:int -> name:string -> arena:Arena.t -> t
 
 val id : t -> int
 val name : t -> string

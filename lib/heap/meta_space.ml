@@ -1,17 +1,18 @@
 type t = {
   id : int;
+  name : string;
   arena : Arena.t;
   mutable usage : int;
   mutable high_water : int;
 }
 
-let create ~id ~name:_ ~arena = { id; arena; usage = 0; high_water = 0 }
+let create ~id ~name ~arena = { id; name; arena; usage = 0; high_water = 0 }
 
 let id t = t.id
 let kind t = Arena.kind t.arena
 
 let alloc_table t bytes =
-  let addr = Arena.reserve t.arena bytes in
+  let addr = Arena.reserve ~who:t.name t.arena bytes in
   t.usage <- t.usage + bytes;
   if t.usage > t.high_water then t.high_water <- t.usage;
   addr

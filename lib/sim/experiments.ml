@@ -568,8 +568,9 @@ let ext_allocator env =
     let ctrl = Kg_cache.Controller.create ~map ~line_size:64 () in
     let hier = Kg_cache.Hierarchy.create ~controller:ctrl () in
     let arena = H.Arena.create ~kind:Kg_mem.Device.Pcm ~base:0 ~size:(2 * Units.gib) in
-    let immix = H.Immix_space.create ~id:3 ~name:"immix" ~arena () in
-    let flist = H.Freelist_space.create ~id:3 ~name:"freelist" ~arena in
+    let words = H.Heap_words.create () in
+    let immix = H.Immix_space.create ~words ~id:3 ~name:"immix" ~arena () in
+    let flist = H.Freelist_space.create ~words ~id:3 ~name:"freelist" ~arena in
     let rng = Rng.of_seed env.o.seed in
     let now = ref 0.0 in
     let target = 24 * Units.mib in
@@ -580,13 +581,11 @@ let ext_allocator env =
       let death =
         if Rng.bernoulli rng 0.1 then infinity else !now +. Rng.exponential rng 2e6
       in
-      let o =
-        H.Object_model.make ~id:0 ~size ~heat:H.Object_model.Cold ~death ~ref_fields:1
-      in
+      let o = H.Object_model.make words ~size ~heat:H.Object_model.Cold ~death ~ref_fields:1 in
       let ok = if use_immix then H.Immix_space.alloc immix o else H.Freelist_space.alloc flist o in
       if not ok then failwith "ext_allocator: arena exhausted";
       (* one zero/init pass: the write stream whose locality differs *)
-      Kg_cache.Hierarchy.access_range hier ~addr:o.H.Object_model.addr ~size ~write:true;
+      Kg_cache.Hierarchy.access_range hier ~addr:(H.Object_model.addr words o) ~size ~write:true;
       now := !now +. float_of_int size;
       live := !live + size;
       if !live > !live_budget then begin
@@ -614,9 +613,9 @@ let ext_allocator env =
     let reads_before = Kg_cache.Controller.bytes_read ctrl Kg_mem.Device.Pcm in
     let traverse objs =
       Kg_util.Vec.iter
-        (fun (o : H.Object_model.t) ->
-          Kg_cache.Hierarchy.access_range hier ~addr:o.H.Object_model.addr
-            ~size:o.H.Object_model.size ~write:false)
+        (fun o ->
+          Kg_cache.Hierarchy.access_range hier ~addr:(H.Object_model.addr words o)
+            ~size:(H.Object_model.size words o) ~write:false)
         objs
     in
     if use_immix then traverse (H.Immix_space.objects immix)

@@ -50,6 +50,7 @@ type dstate = {
 type t = {
   desc : Descriptor.t;
   rt : Rt.t;
+  words : O.store;  (* the runtime's flat-word heap tables *)
   threads : thread array;  (* sequential path; empty when nthreads > 1 *)
   mutable cur : int;  (* round-robin position *)
   life : Lifetime.t;
@@ -118,6 +119,7 @@ let create ?live_mb ?(threads = 1) ?(schedule_seed = 0) ?(oracle = false) desc
   {
     desc;
     rt;
+    words = Rt.words rt;
     threads = (if threads = 1 then [| mk_thread 0 |] else [||]);
     cur = 0;
     life;
@@ -183,7 +185,7 @@ let register t th (o : O.t) =
   th.recent.(th.recent_cursor) <- Some o;
   th.recent_cursor <- (th.recent_cursor + 1) mod recent_size;
   t.allocated <- t.allocated + 1;
-  match o.heat with
+  match O.heat t.words o with
   | O.Hot -> Vec.push t.hot o
   | O.Warm -> Vec.push t.warm o
   | O.Cold ->
@@ -214,7 +216,7 @@ let rec pick_live t th pool attempts =
   else begin
     let i = Rng.int th.rng (Vec.length pool) in
     let o = Vec.get pool i in
-    if O.is_live o (Rt.now t.rt) then Some o
+    if O.is_live t.words o (Rt.now t.rt) then Some o
     else begin
       ignore (Vec.swap_remove pool i);
       pick_live t th pool (attempts - 1)
@@ -226,7 +228,7 @@ let pick_recent t th =
     if attempts = 0 then None
     else begin
       match th.recent.(Rng.int th.rng recent_size) with
-      | Some o when O.is_live o (Rt.now t.rt) -> Some o
+      | Some o when O.is_live t.words o (Rt.now t.rt) -> Some o
       | _ -> go (attempts - 1)
     end
   in
@@ -242,7 +244,7 @@ let pick_hot t th attempts =
     else begin
       let i = Rng.zipf th.rng ~n:(Vec.length pool) ~s:1.2 in
       let o = Vec.get pool i in
-      if O.is_live o (Rt.now t.rt) then Some o
+      if O.is_live t.words o (Rt.now t.rt) then Some o
       else begin
         ignore (Vec.swap_remove pool i);
         go (attempts - 1)
@@ -294,7 +296,8 @@ let do_reads t th n =
 let mutate_for t th (o : O.t) =
   let d = t.desc in
   th.write_debt <-
-    th.write_debt +. (float_of_int o.size *. d.Descriptor.write_alloc_ratio /. 8.0);
+    th.write_debt
+    +. (float_of_int (O.size t.words o) *. d.Descriptor.write_alloc_ratio /. 8.0);
   while th.write_debt >= 1.0 do
     do_write t th;
     th.write_debt <- th.write_debt -. 1.0;
@@ -313,7 +316,7 @@ let register_d t ds (o : O.t) =
   ds.d_recent.(ds.d_recent_cursor) <- Some (T_obj o);
   ds.d_recent_cursor <- (ds.d_recent_cursor + 1) mod recent_size;
   t.allocated <- t.allocated + 1;
-  match o.heat with
+  match O.heat t.words o with
   | O.Hot -> Vec.push t.hot o
   | O.Warm -> Vec.push t.warm o
   | O.Cold ->
@@ -393,22 +396,22 @@ type snapshot = { s_now : float; s_nursery_free : int array }
    frozen snapshot — no pruning (pools are read-only during an epoch;
    the coordinator compacts them at the barrier instead). *)
 
-let g_pick_live rng now pool attempts =
+let g_pick_live w rng now pool attempts =
   let rec go a =
     if a = 0 || Vec.length pool = 0 then None
     else begin
       let o = Vec.get pool (Rng.int rng (Vec.length pool)) in
-      if O.is_live o now then Some (T_obj o) else go (a - 1)
+      if O.is_live w o now then Some (T_obj o) else go (a - 1)
     end
   in
   go attempts
 
-let g_pick_recent ds now =
+let g_pick_recent w ds now =
   let rec go a =
     if a = 0 then None
     else begin
       match ds.d_recent.(Rng.int ds.d_rng recent_size) with
-      | Some (T_obj o) when O.is_live o now -> Some (T_obj o)
+      | Some (T_obj o) when O.is_live w o now -> Some (T_obj o)
       | Some (T_pending i) -> Some (T_pending i)
       | _ -> go (a - 1)
     end
@@ -421,32 +424,37 @@ let g_pick_hot t rng now attempts =
     if a = 0 || Vec.length pool = 0 then None
     else begin
       let o = Vec.get pool (Rng.zipf rng ~n:(Vec.length pool) ~s:1.2) in
-      if O.is_live o now then Some (T_obj o) else go (a - 1)
+      if O.is_live t.words o now then Some (T_obj o) else go (a - 1)
     end
   in
   go attempts
 
 let g_pick_mature t ds now =
   let d = t.desc in
+  let w = t.words in
   let rng = ds.d_rng in
   let u = Rng.float rng 1.0 in
   let primary =
     if u < d.Descriptor.top2_frac then g_pick_hot t rng now 8
-    else if u < d.Descriptor.top10_frac then g_pick_live rng now t.warm 8
-    else g_pick_live rng now t.cold 8
+    else if u < d.Descriptor.top10_frac then g_pick_live w rng now t.warm 8
+    else g_pick_live w rng now t.cold 8
   in
   match primary with
   | Some _ as r -> r
   | None -> (
-    match g_pick_live rng now t.cold 8 with
+    match g_pick_live w rng now t.cold 8 with
     | Some _ as r -> r
-    | None -> g_pick_recent ds now)
+    | None -> g_pick_recent w ds now)
 
 let g_pick_write_target t ds now =
   if Rng.bernoulli ds.d_rng t.desc.Descriptor.nursery_write_frac then
-    match g_pick_recent ds now with Some o -> Some o | None -> g_pick_mature t ds now
+    match g_pick_recent t.words ds now with
+    | Some o -> Some o
+    | None -> g_pick_mature t ds now
   else
-    match g_pick_mature t ds now with Some o -> Some o | None -> g_pick_recent ds now
+    match g_pick_mature t ds now with
+    | Some o -> Some o
+    | None -> g_pick_recent t.words ds now
 
 let g_do_write t ds now ops =
   match g_pick_write_target t ds now with
@@ -455,7 +463,7 @@ let g_do_write t ds now ops =
     if Rng.bernoulli ds.d_rng t.desc.Descriptor.ref_write_frac then begin
       let tgt =
         if Rng.bernoulli ds.d_rng 0.5 then
-          match g_pick_recent ds now with
+          match g_pick_recent t.words ds now with
           | Some o -> Some o
           | None -> g_pick_mature t ds now
         else g_pick_mature t ds now
@@ -468,7 +476,8 @@ let g_do_write t ds now ops =
 
 let g_do_reads t ds now ops n =
   let target =
-    if Rng.bernoulli ds.d_rng 0.6 then g_pick_recent ds now else g_pick_mature t ds now
+    if Rng.bernoulli ds.d_rng 0.6 then g_pick_recent t.words ds now
+    else g_pick_mature t ds now
   in
   match target with
   | Some tgt -> Vec.push ops (Op_read_burst { tgt; words = n })
@@ -563,7 +572,7 @@ let apply_schedule t merged (epoch_allocs : O.t Vec.t array) =
         let o = Rt.alloc ~domain:d t.rt ~size ~heat ~death ~ref_fields in
         Vec.push epoch_allocs.(d) o;
         t.allocated <- t.allocated + 1;
-        (match o.heat with
+        (match heat with
         | O.Hot -> Vec.push t.hot o
         | O.Warm -> Vec.push t.warm o
         | O.Cold ->
@@ -592,9 +601,9 @@ let epoch_barrier t (epoch_allocs : O.t Vec.t array) =
           | _ -> ())
         ds.d_recent)
     t.dstates;
-  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.hot;
-  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.warm;
-  Vec.filter_in_place (fun (o : O.t) -> O.is_live o now) t.cold
+  Vec.filter_in_place (fun o -> O.is_live t.words o now) t.hot;
+  Vec.filter_in_place (fun o -> O.is_live t.words o now) t.warm;
+  Vec.filter_in_place (fun o -> O.is_live t.words o now) t.cold
 
 (* The worker team: one real Domain per mutator domain above 0 (the
    coordinator generates domain 0's stream itself while waiting),

@@ -80,7 +80,7 @@ let replay rt events =
     if back >= window then None
     else
       match recent.((!cursor - 1 - back + (2 * window)) mod window) with
-      | Some o when O.is_live o (Rt.now rt) -> Some o
+      | Some o when O.is_live (Rt.words rt) o (Rt.now rt) -> Some o
       | _ -> None
   in
   List.iter

@@ -125,7 +125,8 @@ let run_model collector ops =
      picked among the oracle-live. *)
   let live_pick sel =
     let now = Rt.now rt in
-    let live = Vec.fold (fun acc o -> if O.is_live o now then o :: acc else acc) [] pool in
+    let w = Rt.words rt in
+    let live = Vec.fold (fun acc o -> if O.is_live w o now then o :: acc else acc) [] pool in
     match live with [] -> None | l -> Some (List.nth l (sel mod List.length l))
   in
   List.iter
@@ -146,8 +147,10 @@ let run_model collector ops =
           (* Shadow barrier (Figure 4): predict the remembered-set
              inserts from the spaces as the runtime sees them. Nothing
              can move objects between this prediction and the call. *)
-          if src.O.space <> Rt.sp_nursery && tgt.O.space = Rt.sp_nursery then incr shadow_gen;
-          if has_obs && src.O.space > Rt.sp_observer && tgt.O.space <= Rt.sp_observer then
+          let w = Rt.words rt in
+          if O.space w src <> Rt.sp_nursery && O.space w tgt = Rt.sp_nursery then
+            incr shadow_gen;
+          if has_obs && O.space w src > Rt.sp_observer && O.space w tgt <= Rt.sp_observer then
             incr shadow_obs;
           incr shadow_ref;
           Rt.write_ref rt ~src ~tgt
@@ -330,10 +333,10 @@ let test_detects_space_id_corruption () =
   let o = Rt.alloc_boot rt ~size:64 ~heat:O.Cold ~ref_fields:1 in
   Alcotest.(check (list string)) "clean before corruption" []
     (strings_of (Verify.audit ~counters rt));
-  o.O.space <- 99;
+  O.set_space (Rt.words rt) o 9;
   let vs = Verify.audit ~counters rt in
   check_bool "space-id corruption detected" true (has_invariant "immix" vs);
-  o.O.space <- Rt.sp_mature_pcm;
+  O.set_space (Rt.words rt) o Rt.sp_mature_pcm;
   Alcotest.(check (list string)) "clean after restore" []
     (strings_of (Verify.audit ~counters rt))
 

@@ -55,7 +55,8 @@ let test_phase_roundtrip () =
 
 let test_remset_basic () =
   let rs = Remset.create ~name:"t" ~buffer_base:1000 ~buffer_bytes:64 () in
-  let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
+  let w = Kg_heap.Heap_words.create () in
+  let o = O.make w ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
   let a1 = Remset.insert rs ~slot_addr:42 ~target:o in
   check_bool "entry addr in buffer" true (a1 >= 1000 && a1 < 1064);
   for _ = 1 to 20 do
@@ -82,7 +83,8 @@ let remset_handshake_model_qcheck =
       let rs =
         Remset.create ~domains ~name:"model" ~buffer_base:0 ~buffer_bytes:4096 ()
       in
-      let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
+      let w = Kg_heap.Heap_words.create () in
+      let o = O.make w ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
       (* Reference model: per-domain pending queues + published list. *)
       let m_pending = Array.make domains [] in
       let m_published = ref [] in
@@ -125,7 +127,8 @@ let test_remset_record_slices () =
   (* Each domain's pending entries write into its own slice of the
      metadata store, so concurrent barrier hits never share lines. *)
   let rs = Remset.create ~domains:2 ~name:"s" ~buffer_base:1000 ~buffer_bytes:64 () in
-  let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
+  let w = Kg_heap.Heap_words.create () in
+  let o = O.make w ~size:64 ~heat:O.Cold ~death:infinity ~ref_fields:1 in
   for _ = 1 to 10 do
     let a0 = Remset.record rs ~domain:0 ~slot_addr:1 ~target:o in
     let a1 = Remset.record rs ~domain:1 ~slot_addr:2 ~target:o in
@@ -175,8 +178,8 @@ let test_counting_mem () =
 let test_alloc_in_nursery () =
   let rt, _ = mk Gc_config.Gen_immix in
   let o = alloc rt in
-  check_bool "in nursery" true (Rt.in_nursery o);
-  check_bool "young" true (Rt.is_young o);
+  check_bool "in nursery" true (Rt.in_nursery rt o);
+  check_bool "young" true (Rt.is_young rt o);
   check_int "no collections yet" 0 (Rt.stats rt).Gc_stats.nursery_gcs
 
 let test_nursery_gc_triggers_and_promotes () =
@@ -185,8 +188,8 @@ let test_nursery_gc_triggers_and_promotes () =
   fill_mb rt 2 ~death:0.0;
   (* all dead churn *)
   check_bool "gc happened" true ((Rt.stats rt).Gc_stats.nursery_gcs >= 1);
-  check_bool "survivor promoted" false (Rt.is_young survivor);
-  check_bool "survivor aged" true (survivor.O.age >= 1)
+  check_bool "survivor promoted" false (Rt.is_young rt survivor);
+  check_bool "survivor aged" true (O.age (Rt.words rt) survivor >= 1)
 
 let test_survival_stats_extremes () =
   let rt, _ = mk Gc_config.Gen_immix in
@@ -204,22 +207,22 @@ let test_kgw_survivors_enter_observer () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = alloc rt in
   fill_mb rt 2 ~death:0.0;
-  check_bool "left nursery" false (Rt.in_nursery o);
-  check_bool "still young (observer)" true (Rt.is_young o);
+  check_bool "left nursery" false (Rt.in_nursery rt o);
+  check_bool "still young (observer)" true (Rt.is_young rt o);
   check_bool "observer is DRAM" false (Rt.object_in_pcm rt o)
 
 let test_genimmix_promotes_directly () =
   let rt, _ = mk Gc_config.Gen_immix in
   let o = alloc rt in
   fill_mb rt 2 ~death:0.0;
-  check_bool "not young after one gc" false (Rt.is_young o)
+  check_bool "not young after one gc" false (Rt.is_young rt o)
 
 let test_boot_alloc () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = Rt.alloc_boot rt ~size:64 ~heat:O.Cold ~ref_fields:1 in
-  check_bool "boot object mature" false (Rt.is_young o);
+  check_bool "boot object mature" false (Rt.is_young rt o);
   check_bool "boot in PCM" true (Rt.object_in_pcm rt o);
-  check_int "age 1" 1 o.O.age;
+  check_int "age 1" 1 (O.age (Rt.words rt) o);
   check_int "boot skips demographics" 0 (Rt.stats rt).Gc_stats.nursery_alloc_bytes
 
 let test_nursery_12mb_variant () =
@@ -256,10 +259,10 @@ let test_kgw_monitoring_sets_write_bit () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = alloc rt in
   Rt.write_prim rt o;
-  check_bool "nursery writes unmonitored" false o.O.written;
+  check_bool "nursery writes unmonitored" false (O.written (Rt.words rt) o);
   fill_mb rt 2 ~death:0.0;
   Rt.write_prim rt o;
-  check_bool "observer write monitored" true o.O.written;
+  check_bool "observer write monitored" true (O.written (Rt.words rt) o);
   check_bool "header write counted" true ((Rt.stats rt).Gc_stats.monitor_header_writes >= 1)
 
 let test_genimmix_never_monitors () =
@@ -268,7 +271,7 @@ let test_genimmix_never_monitors () =
   fill_mb rt 2 ~death:0.0;
   Rt.write_prim rt o;
   Rt.write_ref rt ~src:o ~tgt:o;
-  check_bool "no write bit" false o.O.written;
+  check_bool "no write bit" false (O.written (Rt.words rt) o);
   check_int "no monitor writes" 0 (Rt.stats rt).Gc_stats.monitor_header_writes
 
 let test_pm_variant_skips_primitives () =
@@ -276,9 +279,9 @@ let test_pm_variant_skips_primitives () =
   let o = alloc rt in
   fill_mb rt 2 ~death:0.0;
   Rt.write_prim rt o;
-  check_bool "primitive unmonitored" false o.O.written;
+  check_bool "primitive unmonitored" false (O.written (Rt.words rt) o);
   Rt.write_ref rt ~src:o ~tgt:o;
-  check_bool "reference still monitored" true o.O.written
+  check_bool "reference still monitored" true (O.written (Rt.words rt) o)
 
 let test_write_classification () =
   let rt, _ = mk Gc_config.kg_w_default in
@@ -302,20 +305,20 @@ let test_observer_classifies_written_to_dram () =
   (* fill the observer (2 MB) with survivors to force an observer GC *)
   fill_mb rt 4 ~death:(Rt.now rt +. (3.0 *. float_of_int mib));
   check_bool "observer gc ran" true ((Rt.stats rt).Gc_stats.observer_gcs >= 1);
-  check_bool "written object left young gen" false (Rt.is_young written);
+  check_bool "written object left young gen" false (Rt.is_young rt written);
   check_bool "written object in DRAM" false (Rt.object_in_pcm rt written);
   check_bool "clean object in PCM" true (Rt.object_in_pcm rt clean);
-  check_bool "write bit reset on placement" false written.O.written
+  check_bool "write bit reset on placement" false (O.written (Rt.words rt) written)
 
 let test_major_moves_written_pcm_to_dram () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = Rt.alloc_boot rt ~size:64 ~heat:O.Hot ~ref_fields:1 in
   check_bool "starts in PCM" true (Rt.object_in_pcm rt o);
   Rt.write_prim rt o;
-  check_bool "monitored in mature PCM" true o.O.written;
+  check_bool "monitored in mature PCM" true (O.written (Rt.words rt) o);
   Rt.major_gc rt;
   check_bool "moved to mature DRAM" false (Rt.object_in_pcm rt o);
-  check_bool "bit reset after move" false o.O.written;
+  check_bool "bit reset after move" false (O.written (Rt.words rt) o);
   check_bool "stat recorded" true ((Rt.stats rt).Gc_stats.mature_moves_to_dram >= 1)
 
 let test_major_moves_unwritten_dram_to_pcm () =
@@ -332,7 +335,7 @@ let test_major_reclaims_dead_mature () =
   let rt, _ = mk Gc_config.Gen_immix in
   let doomed = alloc ~death:(10.0 *. float_of_int mib) rt in
   fill_mb rt 2 ~death:0.0;
-  check_bool "promoted" false (Rt.is_young doomed);
+  check_bool "promoted" false (Rt.is_young rt doomed);
   let used_before = Rt.heap_used rt in
   fill_mb rt 9 ~death:0.0;
   (* doomed now dead *)
@@ -383,7 +386,7 @@ let test_loo_enables_dynamically () =
     ignore (alloc ~size:128 ~death:0.0 rt)
   done;
   let late = alloc ~size:(16 * 1024) rt in
-  check_bool "LOO on: large allocates in the nursery" true (Rt.in_nursery late);
+  check_bool "LOO on: large allocates in the nursery" true (Rt.in_nursery rt late);
   check_bool "counted" true ((Rt.stats rt).Gc_stats.large_allocs_in_nursery >= 1)
 
 (* ------------------------------------------------------------------ *)
@@ -392,16 +395,16 @@ let test_loo_enables_dynamically () =
 let test_large_goes_to_los () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = alloc ~size:(16 * 1024) rt in
-  check_bool "large flagged" true (O.is_large o);
+  check_bool "large flagged" true (O.is_large (Rt.words rt) o);
   check_bool "in PCM los" true (Rt.object_in_pcm rt o);
-  check_bool "not young" false (Rt.is_young o);
+  check_bool "not young" false (Rt.is_young rt o);
   check_int "counted" 1 (Rt.stats rt).Gc_stats.large_allocs
 
 let test_written_large_moves_to_dram_los_once () =
   let rt, _ = mk Gc_config.kg_w_default in
   let o = alloc ~size:(16 * 1024) rt in
   Rt.write_prim rt o;
-  check_bool "monitored" true o.O.written;
+  check_bool "monitored" true (O.written (Rt.words rt) o);
   Rt.major_gc rt;
   check_bool "moved to DRAM los" false (Rt.object_in_pcm rt o);
   check_int "stat" 1 (Rt.stats rt).Gc_stats.los_moves_to_dram;
@@ -509,8 +512,8 @@ let test_threshold_placement () =
   for _ = 1 to 3 do
     Rt.write_prim rt thrice
   done;
-  check_bool "below threshold: not written" false once.O.written;
-  check_bool "at threshold: written" true thrice.O.written;
+  check_bool "below threshold: not written" false (O.written (Rt.words rt) once);
+  check_bool "at threshold: written" true (O.written (Rt.words rt) thrice);
   (* classification follows the thresholded bit *)
   fill_mb rt 4 ~death:(Rt.now rt +. (3.0 *. float_of_int mib));
   check_bool "once-written object still goes to PCM" true (Rt.object_in_pcm rt once);
@@ -521,7 +524,7 @@ let test_threshold_one_matches_paper_bit () =
   let o = alloc rt in
   fill_mb rt 2 ~death:0.0;
   Rt.write_prim rt o;
-  check_bool "single write sets the bit" true o.O.written
+  check_bool "single write sets the bit" true (O.written (Rt.words rt) o)
 
 let test_write_trigger_fires_major () =
   let map = Kg_mem.Address_map.hybrid () in
@@ -628,7 +631,7 @@ let runtime_storm_qcheck =
           pool := o :: !pool;
           List.iter
             (fun tgt ->
-              if O.is_live tgt (Rt.now rt) then
+              if O.is_live (Rt.words rt) tgt (Rt.now rt) then
                 if Kg_util.Rng.bernoulli rng 0.5 then Rt.write_prim rt tgt
                 else Rt.write_ref rt ~src:tgt ~tgt:o)
             (List.filteri (fun i _ -> i < 3) !pool))

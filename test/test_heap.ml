@@ -9,8 +9,12 @@ let mib = Kg_util.Units.mib
 let fresh_arena ?(size = 256 * mib) ?(kind = Kg_mem.Device.Pcm) () =
   Arena.create ~kind ~base:(4 * mib) ~size
 
-let obj ?(size = 64) ?(heat = O.Cold) ?(death = infinity) id =
-  O.make ~id ~size ~heat ~death ~ref_fields:2
+let fresh_words () = Heap_words.create ()
+
+(* Indices are minted in call order, so a test that cares about ids
+   simply allocates in id order (ids start at 1). *)
+let obj w ?(size = 64) ?(heat = O.Cold) ?(death = infinity) () =
+  O.make w ~size ~heat ~death ~ref_fields:2
 
 (* ------------------------------------------------------------------ *)
 (* Layout and object model                                             *)
@@ -29,31 +33,203 @@ let test_layout_align () =
   check_int "object align" 24 (Layout.align_object_size 17)
 
 let test_object_predicates () =
-  let small = obj ~size:16 1 in
-  let big = obj ~size:(9 * 1024) 2 in
-  check_bool "small16" true (O.is_small16 small);
-  check_bool "not small16" false (O.is_small16 (obj ~size:24 3));
-  check_bool "large" true (O.is_large big);
-  check_bool "not large" false (O.is_large (obj ~size:(8 * 1024) 4))
+  let w = fresh_words () in
+  let small = obj w ~size:16 () in
+  let big = obj w ~size:(9 * 1024) () in
+  check_bool "small16" true (O.is_small16 w small);
+  check_bool "not small16" false (O.is_small16 w (obj w ~size:24 ()));
+  check_bool "large" true (O.is_large w big);
+  check_bool "not large" false (O.is_large w (obj w ~size:(8 * 1024) ()))
 
 let test_object_liveness () =
-  let o = O.make ~id:1 ~size:64 ~heat:O.Cold ~death:100.0 ~ref_fields:1 in
-  check_bool "live before" true (O.is_live o 99.0);
-  check_bool "dead at" false (O.is_live o 100.0);
-  check_bool "immortal" true (O.is_live (obj 2) 1e18)
+  let w = fresh_words () in
+  let o = O.make w ~size:64 ~heat:O.Cold ~death:100.0 ~ref_fields:1 in
+  check_bool "live before" true (O.is_live w o 99.0);
+  check_bool "dead at" false (O.is_live w o 100.0);
+  check_bool "immortal" true (O.is_live w (obj w ()) 1e18)
+
+let test_object_ids_dense () =
+  let w = fresh_words () in
+  check_int "first id" 1 (O.id (obj w ()));
+  check_int "second id" 2 (O.id (obj w ()));
+  check_bool "null below ids" true (O.is_null O.null && not (O.is_null 1))
 
 let test_object_field_addr () =
-  let o = obj ~size:64 1 in
-  o.O.addr <- 1000;
-  for i = 0 to 20 do
-    let a = O.field_addr o i in
+  let w = fresh_words () in
+  let o = obj w ~size:64 () in
+  O.set_addr w o 1000;
+  let slots = O.field_slots w o in
+  check_int "slots for 64 B" 7 slots;
+  for i = 0 to slots - 1 do
+    let a = O.field_addr w o i in
     check_bool "within payload" true (a >= 1000 + Layout.header_bytes && a < 1064)
   done;
-  check_int "end addr" 1064 (O.end_addr o)
+  check_int "end addr" 1064 (O.end_addr w o)
+
+(* Out-of-range field indices used to wrap silently ([i mod slots]);
+   they now trip the debug bounds assert (stripped by -noassert in
+   release). Callers that want wrap semantics reduce modulo
+   [field_slots] themselves. *)
+let test_object_field_addr_bounds () =
+  let w = fresh_words () in
+  let o = obj w ~size:64 () in
+  O.set_addr w o 1000;
+  (match O.field_addr w o (O.field_slots w o) with
+  | _ -> Alcotest.fail "out-of-range field index must not yield an address"
+  | exception Assert_failure _ -> ());
+  match O.field_addr w o (-1) with
+  | _ -> Alcotest.fail "negative field index must not yield an address"
+  | exception Assert_failure _ -> ()
 
 let test_object_size_validation () =
+  let w = fresh_words () in
   Alcotest.check_raises "too small" (Invalid_argument "Object_model.make: size below minimum")
-    (fun () -> ignore (O.make ~id:1 ~size:4 ~heat:O.Cold ~death:0.0 ~ref_fields:0))
+    (fun () -> ignore (O.make w ~size:4 ~heat:O.Cold ~death:0.0 ~ref_fields:0))
+
+(* The packed tables start at a small capacity and double; metadata
+   must survive growth bit-for-bit. *)
+let test_heap_words_growth () =
+  let w = Heap_words.create ~capacity:8 () in
+  let n = 10_000 in
+  let objs =
+    Array.init n (fun i ->
+        O.make w ~size:(16 + (8 * (i mod 100))) ~heat:(if i mod 7 = 0 then O.Hot else O.Cold)
+          ~death:(if i mod 3 = 0 then infinity else float_of_int i)
+          ~ref_fields:(i mod 50))
+  in
+  Array.iteri
+    (fun i o ->
+      O.set_addr w o (i * 8);
+      O.set_writes w o i)
+    objs;
+  Array.iteri
+    (fun i o ->
+      if O.size w o <> 16 + (8 * (i mod 100)) then Alcotest.fail "size lost in growth";
+      if O.ref_fields w o <> i mod 50 then Alcotest.fail "ref_fields lost in growth";
+      if O.addr w o <> i * 8 then Alcotest.fail "addr lost in growth";
+      if O.writes w o <> i then Alcotest.fail "writes lost in growth";
+      let want = if i mod 3 = 0 then infinity else float_of_int i in
+      if O.death w o <> want then Alcotest.fail "death lost in growth")
+    objs
+
+(* The packed counter fields saturate rather than overflow: the caps
+   are what a saturating incrementer (runtime barrier / copy path)
+   clamps to, and the setters accept exactly up to them. *)
+let test_heap_words_counter_saturation () =
+  let w = fresh_words () in
+  let o = obj w () in
+  O.set_age w o O.max_age;
+  O.set_age w o (min (O.age w o + 1) O.max_age);
+  Alcotest.(check int) "age saturates" O.max_age (O.age w o);
+  O.set_epoch_writes w o O.max_epoch_writes;
+  O.set_epoch_writes w o (min (O.epoch_writes w o + 1) O.max_epoch_writes);
+  Alcotest.(check int) "epoch_writes saturates" O.max_epoch_writes (O.epoch_writes w o);
+  O.set_writes w o O.max_writes;
+  O.set_writes w o (min (O.writes w o + 1) O.max_writes);
+  Alcotest.(check int) "writes saturates" O.max_writes (O.writes w o);
+  (* the three fields share one word: saturating one must not bleed *)
+  Alcotest.(check int) "age intact" O.max_age (O.age w o);
+  Alcotest.(check int) "epoch intact" O.max_epoch_writes (O.epoch_writes w o);
+  match O.set_epoch_writes w o (O.max_epoch_writes + 1) with
+  | () -> Alcotest.fail "expected assert on out-of-range epoch_writes"
+  | exception Assert_failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: flat words vs the pre-refactor record model    *)
+
+type diff_op =
+  | D_alloc of { size : int; heat : O.heat; death : float; ref_fields : int }
+  | D_set_addr of int * int
+  | D_set_space of int * int
+  | D_set_written of int * bool
+  | D_set_marked of int * bool
+  | D_set_age of int * int
+  | D_set_writes of int * int
+  | D_set_epoch_writes of int * int
+
+let diff_op_gen =
+  let open QCheck.Gen in
+  let death =
+    frequency
+      [ (1, return infinity); (3, map (fun f -> Float.abs f *. 1e6) float); (1, float_range 0.0 1.0) ]
+  in
+  let alloc =
+    int_range Layout.min_object (256 * 1024) >>= fun size ->
+    oneofl [ O.Cold; O.Warm; O.Hot ] >>= fun heat ->
+    death >>= fun death ->
+    int_range 0 4096 >>= fun ref_fields -> return (D_alloc { size; heat; death; ref_fields })
+  in
+  let target = int_range 0 63 in
+  frequency
+    [
+      (4, alloc);
+      (2, map2 (fun i v -> D_set_addr (i, v)) target (int_range 0 (1 lsl 40)));
+      (1, map2 (fun i v -> D_set_space (i, v)) target (int_range (-1) 6));
+      (1, map2 (fun i v -> D_set_written (i, v)) target bool);
+      (1, map2 (fun i v -> D_set_marked (i, v)) target bool);
+      (1, map2 (fun i v -> D_set_age (i, v)) target (int_range 0 100));
+      (1, map2 (fun i v -> D_set_writes (i, v)) target (int_range 0 ((1 lsl 30) - 1)));
+      (1, map2 (fun i v -> D_set_epoch_writes (i, v)) target (int_range 0 1000));
+    ]
+
+let heap_words_differential_qcheck =
+  QCheck.Test.make ~name:"flat words match the record-heap oracle" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 200) diff_op_gen))
+    (fun ops ->
+      let w = Heap_words.create ~capacity:4 () in
+      let refs : Reference_heap.t Kg_util.Vec.t = Kg_util.Vec.create () in
+      let flats : O.t Kg_util.Vec.t = Kg_util.Vec.create () in
+      let pick i = i mod max 1 (Kg_util.Vec.length refs) in
+      List.iter
+        (fun op ->
+          match op with
+          | D_alloc { size; heat; death; ref_fields } ->
+            let id = Kg_util.Vec.length refs + 1 in
+            Kg_util.Vec.push refs (Reference_heap.make ~id ~size ~heat ~death ~ref_fields);
+            Kg_util.Vec.push flats (O.make w ~size ~heat ~death ~ref_fields)
+          | _ when Kg_util.Vec.is_empty refs -> ()
+          | D_set_addr (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.addr <- v;
+            O.set_addr w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_space (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.space <- v;
+            O.set_space w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_written (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.written <- v;
+            O.set_written w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_marked (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.marked <- v;
+            O.set_marked w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_age (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.age <- v;
+            O.set_age w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_writes (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.writes <- v;
+            O.set_writes w (Kg_util.Vec.get flats (pick i)) v
+          | D_set_epoch_writes (i, v) ->
+            (Kg_util.Vec.get refs (pick i)).Reference_heap.epoch_writes <- v;
+            O.set_epoch_writes w (Kg_util.Vec.get flats (pick i)) v)
+        ops;
+      let ok = ref true in
+      for i = 0 to Kg_util.Vec.length refs - 1 do
+        let r = Kg_util.Vec.get refs i and o = Kg_util.Vec.get flats i in
+        ok :=
+          !ok
+          && O.id o = r.Reference_heap.id
+          && O.size w o = r.Reference_heap.size
+          && O.heat w o = r.Reference_heap.heat
+          && O.death w o = r.Reference_heap.death
+          && O.ref_fields w o = r.Reference_heap.ref_fields
+          && O.addr w o = r.Reference_heap.addr
+          && O.space w o = r.Reference_heap.space
+          && O.written w o = r.Reference_heap.written
+          && O.marked w o = r.Reference_heap.marked
+          && O.age w o = r.Reference_heap.age
+          && O.writes w o = r.Reference_heap.writes
+          && O.epoch_writes w o = r.Reference_heap.epoch_writes
+          && O.is_live w o 1e5 = Reference_heap.is_live r 1e5
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Arena                                                               *)
@@ -70,69 +246,93 @@ let test_arena_exhaustion () =
   let a = fresh_arena ~size:Layout.page () in
   ignore (Arena.reserve a 1);
   Alcotest.check_raises "exhausted"
-    (Failure "Arena.reserve: PCM arena exhausted (4096 requested, 0 left)") (fun () ->
-      ignore (Arena.reserve a 1))
+    (Failure
+       "Arena.reserve: PCM arena exhausted (? requested 4096, 0 left; 4096 reserved of 4096 limit)")
+    (fun () -> ignore (Arena.reserve a 1))
+
+(* Spaces tag their reservations, so an exhaustion report names the
+   space that asked. *)
+let test_arena_exhaustion_names_space () =
+  let a = fresh_arena ~size:Layout.page () in
+  Alcotest.check_raises "who tag"
+    (Failure
+       "Arena.reserve: PCM arena exhausted (nurse requested 8192, 4096 left; 0 reserved of 4096 limit)")
+    (fun () ->
+      ignore
+        (Bump_space.create ~words:(fresh_words ()) ~id:0 ~name:"nurse" ~arena:a
+           ~size:(2 * Layout.page)))
 
 (* ------------------------------------------------------------------ *)
 (* Bump space                                                          *)
 
+let mk_bump ?(arena = fresh_arena ()) ?(size = mib) w () =
+  Bump_space.create ~words:w ~id:0 ~name:"n" ~arena ~size
+
 let test_bump_contiguous () =
-  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:mib in
-  let o1 = obj ~size:64 1 and o2 = obj ~size:32 2 in
+  let w = fresh_words () in
+  let sp = mk_bump w () in
+  let o1 = obj w ~size:64 () and o2 = obj w ~size:32 () in
   check_bool "alloc" true (Bump_space.alloc sp o1);
   check_bool "alloc" true (Bump_space.alloc sp o2);
-  check_int "contiguous" (o1.O.addr + 64) o2.O.addr;
-  check_int "space id set" 0 o2.O.space;
+  check_int "contiguous" (O.addr w o1 + 64) (O.addr w o2);
+  check_int "space id set" 0 (O.space w o2);
   check_int "used" 96 (Bump_space.used_bytes sp);
   check_int "population" 2 (Kg_util.Vec.length (Bump_space.objects sp))
 
 let test_bump_full_and_reset () =
-  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:128 in
-  check_bool "fits" true (Bump_space.alloc sp (obj ~size:128 1));
-  check_bool "full" false (Bump_space.alloc sp (obj ~size:8 2));
+  let w = fresh_words () in
+  let sp = mk_bump ~size:128 w () in
+  check_bool "fits" true (Bump_space.alloc sp (obj w ~size:128 ()));
+  check_bool "full" false (Bump_space.alloc sp (obj w ~size:8 ()));
   Bump_space.reset sp;
   check_bool "empty after reset" true (Bump_space.is_empty sp);
-  check_bool "reusable" true (Bump_space.alloc sp (obj ~size:8 3))
+  check_bool "reusable" true (Bump_space.alloc sp (obj w ~size:8 ()))
 
 let test_bump_live_bytes () =
-  let sp = Bump_space.create ~id:0 ~name:"n" ~arena:(fresh_arena ()) ~size:mib in
-  ignore (Bump_space.alloc sp (obj ~size:64 ~death:50.0 1));
-  ignore (Bump_space.alloc sp (obj ~size:32 ~death:200.0 2));
+  let w = fresh_words () in
+  let sp = mk_bump w () in
+  ignore (Bump_space.alloc sp (obj w ~size:64 ~death:50.0 ()));
+  ignore (Bump_space.alloc sp (obj w ~size:32 ~death:200.0 ()));
   check_int "live at 100" 32 (Bump_space.live_bytes sp ~now:100.0)
 
 (* ------------------------------------------------------------------ *)
 (* Immix space                                                         *)
 
-let mk_immix ?(arena = fresh_arena ()) () =
-  Immix_space.create ~id:3 ~name:"mature" ~arena ()
+let mk_immix ?(arena = fresh_arena ()) w () =
+  Immix_space.create ~words:w ~id:3 ~name:"mature" ~arena ()
 
 let test_immix_alloc_in_blocks () =
-  let sp = mk_immix () in
-  let o1 = obj ~size:100 1 in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
+  let o1 = obj w ~size:100 () in
   check_bool "alloc" true (Immix_space.alloc sp o1);
-  check_bool "addr assigned" true (o1.O.addr > 0);
-  check_int "space" 3 o1.O.space;
+  check_bool "addr assigned" true (O.addr w o1 > 0);
+  check_int "space" 3 (O.space w o1);
   check_int "one region" 1 (Immix_space.region_count sp);
   check_int "footprint" Layout.mature_region (Immix_space.footprint_bytes sp)
 
 let test_immix_objects_never_cross_blocks () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   for i = 1 to 5000 do
-    let o = obj ~size:(16 + 8 * (i mod 900)) i in
+    let o = obj w ~size:(16 + (8 * (i mod 900))) () in
     check_bool "alloc ok" true (Immix_space.alloc sp o);
     let block_of a = a / Layout.block in
-    check_int "within one block" (block_of o.O.addr) (block_of (o.O.addr + o.O.size - 1))
+    check_int "within one block" (block_of (O.addr w o)) (block_of (O.end_addr w o - 1))
   done
 
 let test_immix_rejects_large () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   Alcotest.check_raises "large rejected" (Invalid_argument "Immix_space.alloc: large object")
-    (fun () -> ignore (Immix_space.alloc sp (obj ~size:(16 * 1024) 1)))
+    (fun () -> ignore (Immix_space.alloc sp (obj w ~size:(16 * 1024) ())))
 
 let test_immix_sweep_reclaims () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   for i = 1 to 100 do
-    ignore (Immix_space.alloc sp (obj ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) i))
+    ignore
+      (Immix_space.alloc sp (obj w ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) ()))
   done;
   let dead = ref 0 in
   let stats = Immix_space.sweep sp ~now:20.0 ~on_dead:(fun _ -> incr dead) () in
@@ -142,33 +342,36 @@ let test_immix_sweep_reclaims () =
   check_int "live bytes" (50 * 256) (Immix_space.live_bytes sp)
 
 let test_immix_recycles_lines () =
+  let w = fresh_words () in
   let arena = fresh_arena ~size:(2 * Layout.mature_region) () in
-  let sp = mk_immix ~arena () in
+  let sp = mk_immix ~arena w () in
   (* fill one region with short-lived objects, sweep, then refill: the
      space must reuse the freed lines instead of growing *)
   let per_region = Layout.mature_region / 256 in
-  for i = 1 to per_region do
-    ignore (Immix_space.alloc sp (obj ~size:256 ~death:10.0 i))
+  for _ = 1 to per_region do
+    ignore (Immix_space.alloc sp (obj w ~size:256 ~death:10.0 ()))
   done;
   check_int "one region so far" 1 (Immix_space.region_count sp);
   ignore (Immix_space.sweep sp ~now:20.0 ());
-  for i = 1 to per_region do
-    ignore (Immix_space.alloc sp (obj ~size:256 i))
+  for _ = 1 to per_region do
+    ignore (Immix_space.alloc sp (obj w ~size:256 ()))
   done;
   check_int "no growth after sweep" 1 (Immix_space.region_count sp)
 
 let test_immix_sweep_stats_classify () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   (* one immortal object pins one block's lines *)
-  ignore (Immix_space.alloc sp (obj ~size:256 1));
+  ignore (Immix_space.alloc sp (obj w ~size:256 ()));
   let stats = Immix_space.sweep sp ~now:0.0 () in
   check_int "one recyclable" 1 stats.Immix_space.recyclable_blocks;
   check_int "rest free" (Layout.mature_region / Layout.block - 1) stats.Immix_space.free_blocks;
   check_int "one line marked" 1 stats.Immix_space.marked_lines
 
 let test_immix_write_meta_callback () =
-  let sp = mk_immix () in
-  ignore (Immix_space.alloc sp (obj ~size:600 1));
+  let w = fresh_words () in
+  let sp = mk_immix w () in
+  ignore (Immix_space.alloc sp (obj w ~size:600 ()));
   let lines_seen = ref 0 in
   ignore
     (Immix_space.sweep sp ~now:0.0 ~write_meta:(fun ~block_index:_ ~lines -> lines_seen := lines) ());
@@ -176,88 +379,99 @@ let test_immix_write_meta_callback () =
   check_int "marked lines reported" 3 !lines_seen
 
 let test_immix_region_lookup () =
-  let sp = mk_immix () in
-  let o = obj ~size:64 1 in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
+  let o = obj w ~size:64 () in
   ignore (Immix_space.alloc sp o);
-  let base = Immix_space.region_base_of_addr sp o.O.addr in
-  check_bool "addr within region" true (o.O.addr >= base && o.O.addr < base + Layout.mature_region);
+  let base = Immix_space.region_base_of_addr sp (O.addr w o) in
+  check_bool "addr within region" true
+    (O.addr w o >= base && O.addr w o < base + Layout.mature_region);
   check_bool "region registered" true (Array.mem base (Immix_space.region_bases sp))
 
 let test_immix_remove_foreign () =
-  let sp = mk_immix () in
-  let o = obj ~size:64 1 in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
+  let o = obj w ~size:64 () in
   ignore (Immix_space.alloc sp o);
-  o.O.space <- 2;
+  O.set_space w o 2;
   (* simulated move to another space *)
   Immix_space.remove_foreign sp;
   check_int "foreign removed" 0 (Kg_util.Vec.length (Immix_space.objects sp))
 
 let test_immix_fragmentation () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   (* objects spaced so each pins one line of its block, then die in
      alternation: half-empty recyclable blocks result *)
-  let objs = ref [] in
   for i = 1 to 512 do
-    let o = obj ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) i in
-    ignore (Immix_space.alloc sp o);
-    objs := o :: !objs
+    ignore
+      (Immix_space.alloc sp (obj w ~size:256 ~death:(if i mod 2 = 0 then 10.0 else infinity) ()))
   done;
   check_float "no recyclable blocks yet" 0.0 (Immix_space.fragmentation sp);
   ignore (Immix_space.sweep sp ~now:20.0 ());
   check_bool "fragmentation appears" true (Immix_space.fragmentation sp >= 0.45)
 
 let test_immix_defrag_candidates () =
-  let sp = mk_immix () in
+  let w = fresh_words () in
+  let sp = mk_immix w () in
   (* one survivor per block: blocks are maximally sparse *)
-  for i = 1 to 16 do
-    ignore (Immix_space.alloc sp (obj ~size:256 i));
-    for j = 1 to 127 do
-      ignore (Immix_space.alloc sp (obj ~size:256 ~death:1.0 (1000 + (i * 128) + j)))
+  for _ = 1 to 16 do
+    ignore (Immix_space.alloc sp (obj w ~size:256 ()));
+    for _ = 1 to 127 do
+      ignore (Immix_space.alloc sp (obj w ~size:256 ~death:1.0 ()))
     done
   done;
   ignore (Immix_space.sweep sp ~now:5.0 ());
   let victims = Immix_space.defrag_candidates sp ~max_bytes:(4 * 256) in
   check_int "budget-bounded victims" 4 (List.length victims);
-  List.iter (fun (o : O.t) -> check_bool "victims live" true (O.is_live o 5.0)) victims
+  List.iter (fun o -> check_bool "victims live" true (O.is_live w o 5.0)) victims
 
 (* No two live objects may overlap, across arbitrary alloc/sweep
    interleavings: the load-bearing allocator invariant. *)
 (* Sharded allocation: real domains bump-allocating through their own
    shards concurrently must produce a consistent population — every
-   object registered once, no address overlap, live bytes summing. *)
+   object registered once, no address overlap, live bytes summing.
+   Indices are minted sequentially up front: the flat-word tables only
+   grow in sequential phases, so the workers race on the space's
+   shards, never on the store. *)
 let test_immix_parallel_shards () =
   let shards = 4 and per_domain = 2000 in
-  let sp = Immix_space.create ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards () in
+  let w = fresh_words () in
+  let sp =
+    Immix_space.create ~words:w ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards ()
+  in
   check_int "shard count" shards (Immix_space.shard_count sp);
+  let objs =
+    Array.init shards (fun _ ->
+        Array.init per_domain (fun i -> obj w ~size:(64 + (16 * (i mod 8))) ()))
+  in
   let worker shard () =
-    for i = 0 to per_domain - 1 do
-      let o = obj ~size:(64 + (16 * (i mod 8))) ((shard * per_domain) + i) in
-      if not (Immix_space.alloc ~shard sp o) then failwith "arena exhausted"
-    done
+    Array.iter
+      (fun o -> if not (Immix_space.alloc ~shard sp o) then failwith "arena exhausted")
+      objs.(shard)
   in
   let doms = Array.init (shards - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   worker 0 ();
   Array.iter Domain.join doms;
   check_int "all objects registered" (shards * per_domain)
     (Kg_util.Vec.length (Immix_space.objects sp));
-  let sum =
-    Kg_util.Vec.fold (fun a (o : O.t) -> a + o.O.size) 0 (Immix_space.objects sp)
-  in
+  let sum = Kg_util.Vec.fold (fun a o -> a + O.size w o) 0 (Immix_space.objects sp) in
   check_int "live bytes sum" sum (Immix_space.live_bytes sp);
   Alcotest.(check (list string)) "audit clean" [] (Immix_space.audit sp)
 
 let test_immix_one_shard_matches_default () =
   (* shards:1 must be exactly the pre-shard space: same addresses for
      the same allocation sequence. *)
+  let w = fresh_words () in
   let run sp =
     List.init 200 (fun i ->
-        let o = obj ~size:(64 + (8 * (i mod 16))) i in
+        let o = obj w ~size:(64 + (8 * (i mod 16))) () in
         ignore (Immix_space.alloc sp o);
-        o.O.addr)
+        O.addr w o)
   in
-  let a = run (mk_immix ()) in
+  let a = run (mk_immix w ()) in
   let b =
-    run (Immix_space.create ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards:1 ())
+    run (Immix_space.create ~words:w ~id:3 ~name:"mature" ~arena:(fresh_arena ()) ~shards:1 ())
   in
   check_bool "identical address streams" true (a = b)
 
@@ -265,7 +479,8 @@ let immix_no_overlap_qcheck =
   QCheck.Test.make ~name:"immix: live objects never overlap" ~count:30
     QCheck.(pair (small_list (int_range 16 4096)) (small_list (int_range 16 4096)))
     (fun (sizes1, sizes2) ->
-      let sp = mk_immix () in
+      let w = fresh_words () in
+      let sp = mk_immix w () in
       let now = ref 0.0 in
       let alloc_batch sizes =
         List.iteri
@@ -273,8 +488,7 @@ let immix_no_overlap_qcheck =
             let death = if i mod 3 = 0 then !now +. 1.0 else infinity in
             ignore
               (Immix_space.alloc sp
-                 (O.make ~id:i ~size:(Layout.align_object_size s) ~heat:O.Cold ~death
-                    ~ref_fields:1)))
+                 (O.make w ~size:(Layout.align_object_size s) ~heat:O.Cold ~death ~ref_fields:1)))
           sizes
       in
       alloc_batch sizes1;
@@ -284,11 +498,11 @@ let immix_no_overlap_qcheck =
       let objs =
         Kg_util.Vec.to_array (Immix_space.objects sp)
         |> Array.to_list
-        |> List.filter (fun o -> O.is_live o !now)
+        |> List.filter (fun o -> O.is_live w o !now)
       in
-      let sorted = List.sort (fun (a : O.t) b -> compare a.addr b.addr) objs in
+      let sorted = List.sort (fun a b -> compare (O.addr w a) (O.addr w b)) objs in
       let rec no_overlap = function
-        | a :: (b : O.t) :: rest -> O.end_addr a <= b.addr && no_overlap (b :: rest)
+        | a :: b :: rest -> O.end_addr w a <= O.addr w b && no_overlap (b :: rest)
         | _ -> true
       in
       no_overlap sorted)
@@ -296,9 +510,13 @@ let immix_no_overlap_qcheck =
 (* ------------------------------------------------------------------ *)
 (* Large object space                                                  *)
 
+let mk_los ?(arena = fresh_arena ()) ?(id = 5) ?(name = "los") w () =
+  Los.create ~words:w ~id ~name ~arena
+
 let test_los_alloc_and_iter () =
-  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
-  let o = obj ~size:(16 * 1024) 1 in
+  let w = fresh_words () in
+  let los = mk_los w () in
+  let o = obj w ~size:(16 * 1024) () in
   check_bool "alloc" true (Los.alloc los o);
   check_int "count" 1 (Los.object_count los);
   check_int "live bytes" (16 * 1024) (Los.live_bytes los);
@@ -307,42 +525,75 @@ let test_los_alloc_and_iter () =
   check_int "iter" 1 !seen
 
 let test_los_collect_keep_and_evict () =
-  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
-  let keepme = obj ~size:(16 * 1024) 1 in
-  let evictme = obj ~size:(16 * 1024) 2 in
-  let dead = obj ~size:(16 * 1024) ~death:5.0 3 in
+  let w = fresh_words () in
+  let los = mk_los w () in
+  let keepme = obj w ~size:(16 * 1024) () in
+  let evictme = obj w ~size:(16 * 1024) () in
+  let dead = obj w ~size:(16 * 1024) ~death:5.0 () in
   List.iter (fun o -> ignore (Los.alloc los o)) [ keepme; evictme; dead ];
-  evictme.O.written <- true;
+  O.set_written w evictme true;
   let deaths = ref 0 in
   let evicted =
-    Los.collect los ~now:10.0 ~keep:(fun o -> not o.O.written) ~on_dead:(fun _ -> incr deaths) ()
+    Los.collect los ~now:10.0
+      ~keep:(fun o -> not (O.written w o))
+      ~on_dead:(fun _ -> incr deaths)
+      ()
   in
   check_int "one evicted" 1 (List.length evicted);
-  check_int "evicted is written one" 2 (List.hd evicted).O.id;
+  check_int "evicted is written one" (O.id evictme) (O.id (List.hd evicted));
   check_int "one died" 1 !deaths;
   check_int "one kept" 1 (Los.object_count los)
 
 let test_los_adopt () =
-  let a = Los.create ~id:5 ~name:"a" ~arena:(fresh_arena ()) in
-  let b = Los.create ~id:4 ~name:"b" ~arena:(fresh_arena ~kind:Kg_mem.Device.Dram ()) in
-  let o = obj ~size:(12 * 1024) 1 in
+  let w = fresh_words () in
+  let a = mk_los ~name:"a" w () in
+  let b = mk_los ~arena:(fresh_arena ~kind:Kg_mem.Device.Dram ()) ~id:4 ~name:"b" w () in
+  let o = obj w ~size:(12 * 1024) () in
   ignore (Los.alloc a o);
   let evicted = Los.collect a ~now:0.0 ~keep:(fun _ -> false) () in
   List.iter (Los.adopt b) evicted;
   check_int "moved" 1 (Los.object_count b);
   check_int "source emptied" 0 (Los.object_count a);
-  check_int "new space id" 4 o.O.space
+  check_int "new space id" 4 (O.space w o)
 
 let test_los_allocation_rate_counter () =
-  let los = Los.create ~id:5 ~name:"los" ~arena:(fresh_arena ()) in
-  ignore (Los.alloc los (obj ~size:(16 * 1024) 1));
-  ignore (Los.alloc los (obj ~size:(16 * 1024) ~death:0.0 2));
+  let w = fresh_words () in
+  let los = mk_los w () in
+  ignore (Los.alloc los (obj w ~size:(16 * 1024) ()));
+  ignore (Los.alloc los (obj w ~size:(16 * 1024) ~death:0.0 ()));
   ignore (Los.collect los ~now:1.0 ~keep:(fun _ -> true) ());
   (* cumulative allocation is unaffected by collection *)
   check_int "total allocated" (32 * 1024) (Los.allocated_bytes_total los)
 
+(* An allocation that lands exactly on the arena limit succeeds; the
+   next one reports full (false) without raising. *)
+let test_los_alloc_exactly_at_limit () =
+  let w = fresh_words () in
+  let los = mk_los ~arena:(fresh_arena ~size:(16 * 1024) ()) w () in
+  check_bool "exact fit" true (Los.alloc los (obj w ~size:(16 * 1024) ()));
+  check_int "arena consumed" 0 (Los.live_bytes los - (16 * 1024));
+  check_bool "next refused" false (Los.alloc los (obj w ~size:(16 * 1024) ()))
+
+let test_los_collect_zero_survivors () =
+  let w = fresh_words () in
+  let los = mk_los w () in
+  for _ = 1 to 3 do
+    ignore (Los.alloc los (obj w ~size:(16 * 1024) ~death:5.0 ()))
+  done;
+  let deaths = ref 0 in
+  let evicted = Los.collect los ~now:10.0 ~keep:(fun _ -> true) ~on_dead:(fun _ -> incr deaths) () in
+  check_int "nothing evicted" 0 (List.length evicted);
+  check_int "all died" 3 !deaths;
+  check_int "empty" 0 (Los.object_count los);
+  check_int "no live bytes" 0 (Los.live_bytes los);
+  (* the treadmill is reusable after a wipe-out *)
+  check_bool "alloc after collapse" true (Los.alloc los (obj w ~size:(16 * 1024) ()))
+
 (* ------------------------------------------------------------------ *)
 (* Free-list mark-sweep space                                          *)
+
+let mk_freelist ?(arena = fresh_arena ()) w () =
+  Freelist_space.create ~words:w ~id:3 ~name:"fl" ~arena
 
 let test_freelist_size_classes () =
   let cls = Freelist_space.size_classes in
@@ -351,74 +602,107 @@ let test_freelist_size_classes () =
   Array.iteri (fun i c -> if i > 0 then check_bool "ascending" true (c > cls.(i - 1))) cls
 
 let test_freelist_alloc_rounds_up () =
-  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
-  let o = obj ~size:48 1 in
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  let o = obj w ~size:48 () in
   check_bool "alloc" true (Freelist_space.alloc sp o);
   check_int "live is object size" 48 (Freelist_space.live_bytes sp);
   check_int "cell is class size" 48 (Freelist_space.cell_bytes sp);
-  let o2 = obj ~size:50 2 in
+  let o2 = obj w ~size:50 () in
   ignore (Freelist_space.alloc sp o2);
   (* 50 rounds to the 56-byte class *)
   check_int "rounded cell" (48 + 56) (Freelist_space.cell_bytes sp)
 
 let test_freelist_same_class_adjacent () =
-  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
-  let a = obj ~size:64 1 and b = obj ~size:64 2 in
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  let a = obj w ~size:64 () and b = obj w ~size:64 () in
   ignore (Freelist_space.alloc sp a);
   ignore (Freelist_space.alloc sp b);
-  check_int "consecutive cells" 64 (b.O.addr - a.O.addr)
+  check_int "consecutive cells" 64 (O.addr w b - O.addr w a)
 
 let test_freelist_sweep_reuses_cells () =
-  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
-  let doomed = obj ~size:64 ~death:5.0 1 in
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  let doomed = obj w ~size:64 ~death:5.0 () in
   ignore (Freelist_space.alloc sp doomed);
-  let dead_addr = doomed.O.addr in
+  let dead_addr = O.addr w doomed in
   let reclaimed = Freelist_space.sweep sp ~now:10.0 () in
   check_int "reclaimed bytes" 64 reclaimed;
   check_int "population empty" 0 (Kg_util.Vec.length (Freelist_space.objects sp));
-  let fresh = obj ~size:64 2 in
+  let fresh = obj w ~size:64 () in
   ignore (Freelist_space.alloc sp fresh);
-  check_int "cell reused (LIFO)" dead_addr fresh.O.addr
+  check_int "cell reused (LIFO)" dead_addr (O.addr w fresh)
 
 let test_freelist_no_moving () =
-  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
-  let o = obj ~size:128 1 in
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  let o = obj w ~size:128 () in
   ignore (Freelist_space.alloc sp o);
-  let addr = o.O.addr in
+  let addr = O.addr w o in
   ignore (Freelist_space.sweep sp ~now:10.0 ());
-  check_int "objects never move" addr o.O.addr
+  check_int "objects never move" addr (O.addr w o)
 
 let test_freelist_rejects_large () =
-  let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
   Alcotest.check_raises "large rejected"
     (Invalid_argument "Freelist_space.alloc: large object") (fun () ->
-      ignore (Freelist_space.alloc sp (obj ~size:(16 * 1024) 1)))
+      ignore (Freelist_space.alloc sp (obj w ~size:(16 * 1024) ())))
+
+(* One block's worth of cells allocates to the brim; the first alloc
+   past the limit reports full instead of raising. *)
+let test_freelist_alloc_exactly_at_limit () =
+  let w = fresh_words () in
+  let sp = mk_freelist ~arena:(fresh_arena ~size:Layout.block ()) w () in
+  let per_block = Layout.block / 64 in
+  for _ = 1 to per_block do
+    check_bool "fills the block" true (Freelist_space.alloc sp (obj w ~size:64 ()))
+  done;
+  check_int "no free cells left" 0 (Freelist_space.free_cells sp);
+  check_bool "next refused" false (Freelist_space.alloc sp (obj w ~size:64 ()));
+  check_int "footprint is one block" Layout.block (Freelist_space.footprint_bytes sp)
+
+let test_freelist_sweep_zero_survivors () =
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  for _ = 1 to 10 do
+    ignore (Freelist_space.alloc sp (obj w ~size:64 ~death:5.0 ()))
+  done;
+  let free_before = Freelist_space.free_cells sp in
+  check_int "everything reclaimed" (10 * 64) (Freelist_space.sweep sp ~now:10.0 ());
+  check_int "population empty" 0 (Kg_util.Vec.length (Freelist_space.objects sp));
+  check_int "no live bytes" 0 (Freelist_space.live_bytes sp);
+  check_int "no cell bytes" 0 (Freelist_space.cell_bytes sp);
+  check_int "cells all free again" (free_before + 10) (Freelist_space.free_cells sp)
 
 let freelist_no_overlap_qcheck =
   QCheck.Test.make ~name:"freelist: live cells never overlap" ~count:30
     QCheck.(small_list (int_range 16 8192))
     (fun sizes ->
-      let sp = Freelist_space.create ~id:3 ~name:"fl" ~arena:(fresh_arena ()) in
+      let w = fresh_words () in
+      let sp = mk_freelist w () in
       List.iteri
         (fun i s ->
           let death = if i mod 2 = 0 then 5.0 else infinity in
           ignore
             (Freelist_space.alloc sp
-               (O.make ~id:i ~size:(Layout.align_object_size s) ~heat:O.Cold ~death
-                  ~ref_fields:1)))
+               (O.make w ~size:(Layout.align_object_size s) ~heat:O.Cold ~death ~ref_fields:1)))
         sizes;
       ignore (Freelist_space.sweep sp ~now:10.0 ());
-      List.iteri
-        (fun i s ->
+      List.iter
+        (fun s ->
           ignore
             (Freelist_space.alloc sp
-               (O.make ~id:(1000 + i) ~size:(Layout.align_object_size s) ~heat:O.Cold
-                  ~death:infinity ~ref_fields:1)))
+               (O.make w ~size:(Layout.align_object_size s) ~heat:O.Cold ~death:infinity
+                  ~ref_fields:1)))
         sizes;
       let objs = Kg_util.Vec.to_array (Freelist_space.objects sp) in
-      let sorted = Array.to_list objs |> List.sort (fun (a : O.t) b -> compare a.addr b.addr) in
+      let sorted =
+        Array.to_list objs |> List.sort (fun a b -> compare (O.addr w a) (O.addr w b))
+      in
       let rec ok = function
-        | (a : O.t) :: (b : O.t) :: rest -> O.end_addr a <= b.addr && ok (b :: rest)
+        | a :: b :: rest -> O.end_addr w a <= O.addr w b && ok (b :: rest)
         | _ -> true
       in
       ok sorted)
@@ -446,13 +730,19 @@ let () =
           Alcotest.test_case "alignment" `Quick test_layout_align;
           Alcotest.test_case "predicates" `Quick test_object_predicates;
           Alcotest.test_case "liveness" `Quick test_object_liveness;
+          Alcotest.test_case "dense ids" `Quick test_object_ids_dense;
           Alcotest.test_case "field addresses" `Quick test_object_field_addr;
+          Alcotest.test_case "field address bounds" `Quick test_object_field_addr_bounds;
           Alcotest.test_case "size validation" `Quick test_object_size_validation;
+          Alcotest.test_case "table growth" `Quick test_heap_words_growth;
+          Alcotest.test_case "counter saturation" `Quick test_heap_words_counter_saturation;
+          q heap_words_differential_qcheck;
         ] );
       ( "arena",
         [
           Alcotest.test_case "reserve" `Quick test_arena_reserve;
           Alcotest.test_case "exhaustion" `Quick test_arena_exhaustion;
+          Alcotest.test_case "exhaustion names space" `Quick test_arena_exhaustion_names_space;
         ] );
       ( "bump_space",
         [
@@ -484,6 +774,8 @@ let () =
           Alcotest.test_case "collect keep/evict" `Quick test_los_collect_keep_and_evict;
           Alcotest.test_case "adopt" `Quick test_los_adopt;
           Alcotest.test_case "allocation counter" `Quick test_los_allocation_rate_counter;
+          Alcotest.test_case "alloc exactly at limit" `Quick test_los_alloc_exactly_at_limit;
+          Alcotest.test_case "collect zero survivors" `Quick test_los_collect_zero_survivors;
         ] );
       ( "freelist",
         [
@@ -493,6 +785,8 @@ let () =
           Alcotest.test_case "sweep reuses cells" `Quick test_freelist_sweep_reuses_cells;
           Alcotest.test_case "non-moving" `Quick test_freelist_no_moving;
           Alcotest.test_case "rejects large" `Quick test_freelist_rejects_large;
+          Alcotest.test_case "alloc exactly at limit" `Quick test_freelist_alloc_exactly_at_limit;
+          Alcotest.test_case "sweep zero survivors" `Quick test_freelist_sweep_zero_survivors;
           q freelist_no_overlap_qcheck;
         ] );
       ("meta", [ Alcotest.test_case "accounting" `Quick test_meta_accounting ]);
