@@ -54,7 +54,7 @@ let print_result (r : R.result) simulate =
     r.R.dram_avg_mb r.R.dram_max_mb r.R.pcm_avg_mb r.R.pcm_max_mb r.R.meta_mb
 
 let run_cmd bench collector simulate scale heap_scale cap_mb seed domains schedule_seed
-    threshold trigger observer =
+    parallel_gc threshold trigger observer =
   match spec_of_string collector with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok spec ->
@@ -75,7 +75,8 @@ let run_cmd bench collector simulate scale heap_scale cap_mb seed domains schedu
     | d ->
       let mode = if simulate then R.Simulate else R.Count in
       let r =
-        R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~schedule_seed ~mode spec d
+        R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~schedule_seed ~parallel_gc
+          ~mode spec d
       in
       print_result r simulate;
       0)
@@ -119,6 +120,15 @@ let schedule_seed_arg =
   let doc = "Seed for the deterministic merge schedule of multi-domain runs." in
   Arg.(value & opt int 0 & info [ "schedule-seed" ] ~doc)
 
+let parallel_gc_arg =
+  let doc =
+    "Run collection phases on a worker-domain team (plan-in-parallel, \
+     apply-in-merged-order). Deterministic: every counter and table is \
+     bit-identical to the inline collector at the same --domains; only the \
+     modeled GC time shrinks."
+  in
+  Arg.(value & flag & info [ "parallel-gc" ] ~doc)
+
 let threshold_arg =
   let doc = "KG-W extension: writes needed before an object counts as written (default 1)." in
   Arg.(value & opt int 1 & info [ "write-threshold" ] ~doc)
@@ -134,13 +144,13 @@ let observer_arg =
 let run_t =
   Term.(
     const run_cmd $ bench_arg $ collector_arg $ simulate_arg $ scale_arg $ heap_scale_arg
-    $ cap_arg $ seed_arg $ domains_arg $ schedule_seed_arg $ threshold_arg $ trigger_arg
-    $ observer_arg)
+    $ cap_arg $ seed_arg $ domains_arg $ schedule_seed_arg $ parallel_gc_arg $ threshold_arg
+    $ trigger_arg $ observer_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check: audit heap invariants across benchmarks x collectors         *)
 
-let check_cmd benches scale heap_scale cap_mb seed jobs =
+let check_cmd benches scale heap_scale cap_mb seed domains parallel_gc jobs =
   let benches = if benches = [] then [ "lusearch"; "xalan"; "pmd" ] else benches in
   let specs = [ ("genimmix", R.pcm_only); ("kg-n", R.kg_n); ("kg-w", R.kg_w) ] in
   let failures = ref 0 in
@@ -165,7 +175,8 @@ let check_cmd benches scale heap_scale cap_mb seed jobs =
         ( bench,
           name,
           Kg_engine.Pool.submit pool (fun ~seed:_ ->
-              R.run ~seed ~scale ~heap_scale ~cap_mb ~check:true ~mode:R.Count spec d) ))
+              R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~parallel_gc
+                ~check:true ~mode:R.Count spec d) ))
       matrix
   in
   List.iter
@@ -194,7 +205,9 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let check_t =
-  Term.(const check_cmd $ benches_arg $ scale_arg $ heap_scale_arg $ cap_arg $ seed_arg $ jobs_arg)
+  Term.(
+    const check_cmd $ benches_arg $ scale_arg $ heap_scale_arg $ cap_arg $ seed_arg
+    $ domains_arg $ parallel_gc_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: record a run, replay its trace, compare bit-for-bit         *)

@@ -1,0 +1,31 @@
+(** The parallel-collector worker team.
+
+    A lazily-spawned pool of [domains - 1] worker domains (the
+    coordinator executes slice 0 itself) parked on a condition variable
+    between phase steps, in the style of [Mutator]'s epoch team. The
+    team's [runner] is a [Parfor.t] of width [domains]: team-backed
+    when the team was created with [parallel:true] and [domains > 1],
+    and [Parfor.inline_] otherwise — so [parallel:false] is exactly the
+    inline oracle protocol at the same partition width, and never
+    spawns a domain. *)
+
+type t
+
+val create : domains:int -> parallel:bool -> t
+(** [create ~domains ~parallel] builds a team of width [domains]. No
+    domain is spawned until the first team-backed run. Raises
+    [Invalid_argument] when [domains <= 0]. *)
+
+val width : t -> int
+
+val parallel : t -> bool
+(** Whether [runner] is team-backed ([parallel] was set and
+    [domains > 1]). *)
+
+val runner : t -> Kg_util.Parfor.t
+(** The team's parallel-for runner. A slice exception is re-raised on
+    the calling domain once every slice has finished. *)
+
+val shutdown : t -> unit
+(** Stop and join any spawned workers. Idempotent; a no-op on a team
+    that never went parallel. *)

@@ -18,8 +18,14 @@ type t = {
   mutable cells : int;  (* bytes occupied counted in cell sizes *)
   mutable nfree : int;
   objects : O.t Vec.t;
-  class_of_obj : (int, int) Hashtbl.t;  (* keyed by cell address *)
+  (* Packed per-object size-class side table in the flat-word-heap
+     style: one byte per object id, doubled on demand, [\255] meaning
+     "not resident here". Replaces a per-object [Hashtbl] keyed by cell
+     address — the last hash lookup on the sweep path. *)
+  mutable class_of_obj : Bytes.t;
 }
+
+let no_class = '\255'
 
 let create ~words ~id ~name ~arena =
   {
@@ -33,20 +39,28 @@ let create ~words ~id ~name ~arena =
     cells = 0;
     nfree = 0;
     objects = Vec.create ();
-    class_of_obj = Hashtbl.create 1024;
+    class_of_obj = Bytes.make 1024 no_class;
   }
 
 let id t = t.id
 let name t = t.name
 
+(* O(1) size -> class: a direct-indexed table over every size up to the
+   largest class (8 KB of ints, built once). *)
+let class_of_size =
+  let max_size = size_classes.(Array.length size_classes - 1) in
+  let tbl = Array.make (max_size + 1) 0 in
+  let ci = ref 0 in
+  for size = 0 to max_size do
+    if size > size_classes.(!ci) then incr ci;
+    tbl.(size) <- !ci
+  done;
+  tbl
+
 let class_index size =
-  let rec go i =
-    if i >= Array.length size_classes then
-      invalid_arg "Freelist_space.alloc: large object"
-    else if size_classes.(i) >= size then i
-    else go (i + 1)
-  in
-  go 0
+  if size >= Array.length class_of_size then
+    invalid_arg "Freelist_space.alloc: large object"
+  else Array.unsafe_get class_of_size size
 
 (* Carve one 32 KB block into cells of one class. *)
 let grow_class t ci =
@@ -63,6 +77,29 @@ let grow_class t ci =
     true
   end
 
+let set_class t o ci =
+  let id = O.id o in
+  let n = Bytes.length t.class_of_obj in
+  if id >= n then begin
+    let grown = Bytes.make (max (id + 1) (2 * n)) no_class in
+    Bytes.blit t.class_of_obj 0 grown 0 n;
+    t.class_of_obj <- grown
+  end;
+  Bytes.set t.class_of_obj id (Char.chr ci)
+
+(* The stored class for [o], clearing the slot; [None] when the object
+   was never recorded (resident without a local alloc). *)
+let take_class t o =
+  let id = O.id o in
+  if id >= Bytes.length t.class_of_obj then None
+  else
+    let c = Bytes.get t.class_of_obj id in
+    if c = no_class then None
+    else begin
+      Bytes.set t.class_of_obj id no_class;
+      Some (Char.code c)
+    end
+
 let rec alloc t o =
   let w = t.words in
   let osize = O.size w o in
@@ -75,7 +112,7 @@ let rec alloc t o =
     O.set_space w o t.id;
     t.live <- t.live + osize;
     t.cells <- t.cells + size_classes.(ci);
-    Hashtbl.replace t.class_of_obj addr ci;
+    set_class t o ci;
     Vec.push t.objects o;
     true
   | [] -> grow_class t ci && alloc t o
@@ -90,11 +127,10 @@ let sweep t ~now ?(on_dead = fun _ -> ()) () =
       else begin
         let oaddr = O.addr w o and osize = O.size w o in
         let ci =
-          match Hashtbl.find_opt t.class_of_obj oaddr with
+          match take_class t o with
           | Some ci -> ci
           | None -> class_index osize
         in
-        Hashtbl.remove t.class_of_obj oaddr;
         t.free.(ci) <- oaddr :: t.free.(ci);
         t.nfree <- t.nfree + 1;
         t.live <- t.live - osize;

@@ -6,6 +6,7 @@ type block = {
   b_index : int;
   line_marks : Bytes.t;
   mutable marked_lines : int;
+  mutable b_avail : bool;  (* constant-time "is on the allocation list" bit *)
 }
 
 type sweep_stats = {
@@ -40,7 +41,12 @@ type t = {
   on_new_region : base:int -> unit;
   blocks : block Vec.t;
   mutable region_bases : int array;  (* sorted, for addr -> block lookup *)
-  mutable avail : block list;  (* allocation order: recyclable then free *)
+  (* Allocation queue, recyclable then free, consumed head-first via
+     [avail_head] (popped slots go stale rather than shifting — the Vec
+     is rebuilt wholesale by [sweep]). Each block's [b_avail] bit
+     mirrors queue membership so audits stay O(blocks). *)
+  avail : block Vec.t;
+  mutable avail_head : int;
   shards : shard array;
   registry : Mutex.t;  (* guards avail, arena growth, objects, live_bytes *)
   objects : O.t Vec.t;
@@ -63,7 +69,8 @@ let create ~words ~id ~name ~arena ?(on_new_region = fun ~base:_ -> ()) ?(shards
     on_new_region;
     blocks = Vec.create ();
     region_bases = [||];
-    avail = [];
+    avail = Vec.create ();
+    avail_head = 0;
     shards = Array.init shards (fun _ -> fresh_shard ());
     registry = Mutex.create ();
     objects = Vec.create ();
@@ -85,7 +92,6 @@ let grow_region t =
   let base = Arena.reserve ~who:t.name t.arena Layout.mature_region in
   t.region_bases <- Array.append t.region_bases [| base |];
   Array.sort compare t.region_bases;
-  let fresh = ref [] in
   for i = 0 to blocks_per_region - 1 do
     let b =
       {
@@ -93,12 +99,12 @@ let grow_region t =
         b_index = Vec.length t.blocks;
         line_marks = Bytes.make Layout.lines_per_block '\000';
         marked_lines = 0;
+        b_avail = true;
       }
     in
     Vec.push t.blocks b;
-    fresh := b :: !fresh
+    Vec.push t.avail b
   done;
-  t.avail <- t.avail @ List.rev !fresh;
   t.on_new_region ~base
 
 (* Next run of free lines in [b] starting at or after [from]. *)
@@ -112,18 +118,19 @@ let next_free_run b from =
     Some (start, find_end start)
 
 (* Take the next block off the shared registry, growing the arena by a
-   region if the list is dry. Caller holds [t.registry]. *)
+   region if the queue is dry. Caller holds [t.registry]. *)
 let rec take_avail t =
-  match t.avail with
-  | b :: rest ->
-    t.avail <- rest;
+  if t.avail_head < Vec.length t.avail then begin
+    let b = Vec.get t.avail t.avail_head in
+    t.avail_head <- t.avail_head + 1;
+    b.b_avail <- false;
     Some b
-  | [] ->
-    if Arena.remaining t.arena >= Layout.mature_region then begin
-      grow_region t;
-      take_avail t
-    end
-    else None
+  end
+  else if Arena.remaining t.arena >= Layout.mature_region then begin
+    grow_region t;
+    take_avail t
+  end
+  else None
 
 let rec refill t sh =
   match sh.cur with
@@ -208,19 +215,6 @@ let block_of_addr t addr =
   let region_block0 = !found * blocks_per_region in
   let b = Vec.get t.blocks (region_block0 + ((addr - base) / Layout.block)) in
   b
-
-let mark_lines t o =
-  let w = t.words in
-  let oaddr = O.addr w o and osize = O.size w o in
-  let b = block_of_addr t oaddr in
-  let first = (oaddr - b.b_base) / Layout.line in
-  let last = (oaddr + osize - 1 - b.b_base) / Layout.line in
-  for l = first to min last (Layout.lines_per_block - 1) do
-    if Bytes.get b.line_marks l = '\000' then begin
-      Bytes.set b.line_marks l '\001';
-      b.marked_lines <- b.marked_lines + 1
-    end
-  done
 
 let remove_foreign t =
   let w = t.words in
@@ -353,59 +347,119 @@ let audit t =
           else if got && not want then
             err "block %d line %d is marked but holds no live object" b.b_index l
         done;
-        if b.marked_lines = 0 && not (List.memq b t.avail) then
+        if b.marked_lines = 0 && not b.b_avail then
           err "fully-unmarked block %d was not returned to the free list" b.b_index)
       t.blocks
   end;
   List.rev !errs
 
-let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = fun _ -> ()) () =
+(* Sweep, in the collector's "plan in parallel, apply in merged order"
+   protocol. Phase A (parallel over population ranges) classifies each
+   contiguous range into kept / dead lists and computes every kept
+   object's line span, bucketed by the owning block's region shard.
+   Phase B (sequential) replays the per-range buffers in range order —
+   exactly the order the pre-protocol sequential sweep visited the
+   population, so the rebuilt vector, the [on_dead] retirement stream
+   and the byte accounting are bit-identical at any width. Phase C
+   (parallel over region shards) clears and re-applies the line maps:
+   shard [j] owns blocks with [region mod width = j], so writes are
+   disjoint, and the final marks are a set union — independent of the
+   order spans land. Phase D (sequential) walks blocks in index order
+   to rebuild the allocation queue and emit [write_meta] records,
+   unchanged from the sequential sweep. [Parfor.inline_ 1] therefore
+   *is* the old sweep; any width with any runner produces the same
+   observable state. *)
+let sweep t ~now ?(write_meta = fun ~block_index:_ ~lines:_ -> ()) ?(on_dead = fun _ -> ())
+    ?(par = Parfor.inline_ 1) () =
   let w = t.words in
-  let swept_objects = ref 0 and swept_bytes = ref 0 in
-  Vec.filter_in_place
-    (fun o ->
-      if O.space w o <> t.id then false
-      else if O.is_live w o now then true
-      else begin
-        incr swept_objects;
-        swept_bytes := !swept_bytes + O.size w o;
-        on_dead o;
-        false
-      end)
-    t.objects;
-  Vec.iter
-    (fun (b : block) ->
-      Bytes.fill b.line_marks 0 Layout.lines_per_block '\000';
-      b.marked_lines <- 0)
-    t.blocks;
-  let live = ref 0 in
-  Vec.iter
-    (fun o ->
-      live := !live + O.size w o;
-      mark_lines t o)
-    t.objects;
+  let width = Parfor.width par in
+  let n = Vec.length t.objects in
+  let kept = Array.init width (fun _ -> Vec.create ()) in
+  let dead = Array.init width (fun _ -> Vec.create ()) in
+  let kept_bytes = Array.make width 0 and dead_bytes = Array.make width 0 in
+  (* [spans.(i).(j)]: packed [(block lsl 14) lor (first lsl 7) lor last]
+     line spans planned by range [i] for region shard [j] — written
+     only by slice [i], read only by slice [j] of the next step. *)
+  let spans = Array.init width (fun _ -> Array.init width (fun _ -> Vec.create ())) in
+  Parfor.run par (fun i ->
+      let lo, hi = Parfor.slice ~len:n ~width i in
+      for k = lo to hi do
+        let o = Vec.get t.objects k in
+        if O.space w o = t.id then
+          if O.is_live w o now then begin
+            let oaddr = O.addr w o and osize = O.size w o in
+            Vec.push kept.(i) o;
+            kept_bytes.(i) <- kept_bytes.(i) + osize;
+            let b = block_of_addr t oaddr in
+            let first = (oaddr - b.b_base) / Layout.line in
+            let last =
+              min ((oaddr + osize - 1 - b.b_base) / Layout.line) (Layout.lines_per_block - 1)
+            in
+            let shard = b.b_index / blocks_per_region mod width in
+            Vec.push spans.(i).(shard) ((b.b_index lsl 14) lor (first lsl 7) lor last)
+          end
+          else begin
+            Vec.push dead.(i) o;
+            dead_bytes.(i) <- dead_bytes.(i) + O.size w o
+          end
+      done);
+  Vec.clear t.objects;
+  let swept_objects = ref 0 and swept_bytes = ref 0 and live = ref 0 in
+  for i = 0 to width - 1 do
+    Vec.iter (fun o -> Vec.push t.objects o) kept.(i);
+    live := !live + kept_bytes.(i);
+    swept_objects := !swept_objects + Vec.length dead.(i);
+    swept_bytes := !swept_bytes + dead_bytes.(i);
+    Vec.iter on_dead dead.(i)
+  done;
   t.live_bytes <- !live;
-  let free = ref [] and recyclable = ref [] in
+  Parfor.run par (fun j ->
+      for bi = 0 to Vec.length t.blocks - 1 do
+        if bi / blocks_per_region mod width = j then begin
+          let b = Vec.get t.blocks bi in
+          Bytes.fill b.line_marks 0 Layout.lines_per_block '\000';
+          b.marked_lines <- 0
+        end
+      done;
+      for i = 0 to width - 1 do
+        Vec.iter
+          (fun packed ->
+            let b = Vec.get t.blocks (packed lsr 14) in
+            let first = (packed lsr 7) land 0x7f and last = packed land 0x7f in
+            for l = first to last do
+              if Bytes.get b.line_marks l = '\000' then begin
+                Bytes.set b.line_marks l '\001';
+                b.marked_lines <- b.marked_lines + 1
+              end
+            done)
+          spans.(i).(j)
+      done);
+  Vec.clear t.avail;
+  t.avail_head <- 0;
+  let free = ref [] in
   let nfree = ref 0 and nrec = ref 0 and nfull = ref 0 and marked = ref 0 in
   Vec.iter
     (fun (b : block) ->
       marked := !marked + b.marked_lines;
       if b.marked_lines = 0 then begin
         incr nfree;
+        b.b_avail <- true;
         free := b :: !free
       end
       else if b.marked_lines < Layout.lines_per_block then begin
         incr nrec;
-        recyclable := b :: !recyclable;
+        b.b_avail <- true;
+        Vec.push t.avail b;
         write_meta ~block_index:b.b_index ~lines:b.marked_lines
       end
       else begin
         incr nfull;
+        b.b_avail <- false;
         write_meta ~block_index:b.b_index ~lines:b.marked_lines
       end)
     t.blocks;
   (* Allocation prefers partially filled blocks, then empty ones (§3). *)
-  t.avail <- List.rev !recyclable @ List.rev !free;
+  List.iter (fun b -> Vec.push t.avail b) (List.rev !free);
   Array.iter
     (fun sh ->
       sh.cur <- None;

@@ -34,6 +34,7 @@ type job = {
   bench : Kg_workload.Descriptor.t;
   trace : bool;  (** sample heap composition (Figure 13) *)
   threads : int;  (** logical mutator threads (Table 3 extension) *)
+  parallel_gc : bool;  (** collection phases on the worker-domain team *)
   cap_mb : int option;  (** per-job override of [opts.cap_mb] *)
 }
 (** One cell of the run matrix: everything that determines a
@@ -42,6 +43,7 @@ type job = {
 val job :
   ?trace:bool ->
   ?threads:int ->
+  ?parallel_gc:bool ->
   ?cap_mb:int ->
   Run.mode ->
   Run.spec ->
@@ -77,6 +79,7 @@ val fetch :
   env ->
   ?trace:bool ->
   ?threads:int ->
+  ?parallel_gc:bool ->
   ?cap_mb:int ->
   Run.mode ->
   Run.spec ->

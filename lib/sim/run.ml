@@ -105,8 +105,10 @@ let config_of ~heap_scale spec bench =
     ~heap_mb:(2 * live_mb) spec.collector
 
 let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = false)
-    ?(threads = 1) ?(schedule_seed = 0) ?(oracle = false) ?(check = false) ?recorder
-    ~mode spec bench =
+    ?(threads = 1) ?(schedule_seed = 0) ?(oracle = false) ?(parallel_gc = false)
+    ?(check = false) ?recorder ~mode spec bench =
+  (* The oracle protocol runs every parallel component inline. *)
+  let parallel_gc = parallel_gc && not oracle in
   let live_mb = live_mb_of ~heap_scale bench in
   let cfg = config_of ~heap_scale spec bench in
   let counting_counters = ref None in
@@ -128,7 +130,8 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
       counting_counters := Some c;
       (None, None, map, iface)
   in
-  let rt = Runtime.create ~domains:threads ~config:cfg ~mem ~map:runtime_map ~seed () in
+  let rt = Runtime.create ~domains:threads ~parallel_gc ~config:cfg ~mem ~map:runtime_map ~seed () in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
   Option.iter (fun r -> Runtime.set_event_hook rt (Trace.record r)) recorder;
   (* Sample heap composition at every collection. *)
   let dram_acc = Stats.Acc.create () and pcm_acc = Stats.Acc.create () in
@@ -164,8 +167,8 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
   let traffic = Mem_iface.stats mem in
   let stats = Runtime.stats rt in
   let parts =
-    Time_model.cpu_parts ~domains:threads ~intensity:bench.Descriptor.cpu_intensity stats
-      ~alloc_bytes
+    Time_model.cpu_parts ~domains:threads ~parallel_gc
+      ~intensity:bench.Descriptor.cpu_intensity stats ~alloc_bytes
   in
   let parts = match machine with Some m -> Time_model.with_machine parts m | None -> parts in
   let time_s = Time_model.seconds parts in

@@ -79,6 +79,7 @@ val run :
   ?threads:int ->
   ?schedule_seed:int ->
   ?oracle:bool ->
+  ?parallel_gc:bool ->
   ?check:bool ->
   ?recorder:Kg_gc.Trace.recorder ->
   mode:mode ->
@@ -96,6 +97,14 @@ val run :
     (default 0); [oracle] (default false) runs the same protocol
     inline on one domain (see {!Kg_workload.Mutator.create}). The
     result is a pure function of the seeds, not of OS scheduling.
+
+    [parallel_gc] (default false) additionally runs the collection
+    phases on a team of [threads] worker domains (see
+    {!Kg_gc.Runtime.create}). Every counter, trace and traffic figure
+    stays bit-identical to the inline collector at the same [threads];
+    only the modeled collection time ([time_parts.gc_ns], and so
+    [time_s]) shrinks. Forced off by [oracle], which runs every
+    parallel component inline.
 
     [check] (default false) attaches the {!Kg_gc.Verify} heap auditor
     to every collection phase plus a final end-of-run audit, reporting

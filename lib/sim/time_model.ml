@@ -12,7 +12,8 @@ type parts = {
 let total_ns p =
   p.app_ns +. p.gc_ns +. p.remset_ns +. p.monitor_ns +. p.mem_base_ns +. p.mem_pcm_extra_ns
 
-let cpu_parts ?(domains = 1) ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
+let cpu_parts ?(domains = 1) ?(parallel_gc = false) ?(intensity = 1.0) (st : Gc_stats.t)
+    ~alloc_bytes =
   let f = float_of_int in
   let access_events = st.reads + st.ref_writes + st.prim_writes in
   let copied = st.copied_bytes_nursery + st.copied_bytes_observer + st.copied_bytes_major in
@@ -22,10 +23,9 @@ let cpu_parts ?(domains = 1) ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
     +. (f access_events *. Costs.t_access_ns *. intensity)
     +. (f (st.ref_writes + st.prim_writes) *. Costs.t_barrier_fast_ns)
   in
-  let gc_ns =
+  let gc_work_ns =
     (f copied *. Costs.t_copy_per_byte_ns)
     +. (f (st.scanned_objects + st.remset_slot_updates) *. Costs.t_scan_per_object_ns)
-    +. (f collections *. Costs.t_gc_fixed_ns)
   in
   let remset_ns =
     f (st.gen_remset_inserts + st.obs_remset_inserts) *. Costs.t_remset_insert_ns
@@ -33,8 +33,16 @@ let cpu_parts ?(domains = 1) ?(intensity = 1.0) (st : Gc_stats.t) ~alloc_bytes =
   let monitor_ns = f st.monitor_header_writes *. Costs.t_monitor_ns in
   (* Mutator-side work (allocation, accesses, barrier fast paths,
      remset buffering, write monitoring) runs on [domains] cores in
-     parallel; collections are stop-the-world and stay sequential. *)
+     parallel. Collections are stop-the-world: sequential by default,
+     but with [parallel_gc] the copy/scan work spreads over the same
+     [domains] cores inside the pause, at the price of a per-collection
+     fork/join-and-merge synchronisation term. *)
   let d = f (max 1 domains) in
+  let gc_ns =
+    if parallel_gc && domains > 1 then
+      (gc_work_ns /. d) +. (f collections *. (Costs.t_gc_fixed_ns +. Costs.t_gc_sync_ns))
+    else gc_work_ns +. (f collections *. Costs.t_gc_fixed_ns)
+  in
   {
     app_ns = app_ns /. d;
     gc_ns;
@@ -74,8 +82,12 @@ let with_machine p (m : Machine.t) =
 
 let seconds p = total_ns p *. 1e-9
 
-let pause_ms ~copied ~scanned =
-  (Costs.t_gc_fixed_ns
-  +. (float_of_int copied *. Costs.t_copy_per_byte_ns)
-  +. (float_of_int scanned *. Costs.t_scan_per_object_ns))
+let pause_ms ?(domains = 1) ?(parallel_gc = false) ~copied ~scanned () =
+  let work =
+    (float_of_int copied *. Costs.t_copy_per_byte_ns)
+    +. (float_of_int scanned *. Costs.t_scan_per_object_ns)
+  in
+  (if parallel_gc && domains > 1 then
+     Costs.t_gc_fixed_ns +. Costs.t_gc_sync_ns +. (work /. float_of_int domains)
+   else Costs.t_gc_fixed_ns +. work)
   *. 1e-6

@@ -1,0 +1,30 @@
+(** A deterministic parallel-for seam.
+
+    A runner fixes a partition [width] and an execution strategy for
+    running [width] independent slices — inline for the sequential path
+    and the oracle, on a worker-domain team for the parallel collector.
+    Because per-slice results are merged in slice order, the two
+    strategies are observationally identical; the width, not the
+    strategy, is what the protocol depends on. *)
+
+type t = {
+  width : int;  (** number of slices every [run] call is split into *)
+  run : (int -> unit) -> unit;
+      (** [run f] invokes [f i] exactly once for each [i] in
+          [0 .. width-1] and returns when all have finished. Slices may
+          execute concurrently: [f] must only read shared state and
+          write slice-private buffers. *)
+}
+
+val width : t -> int
+val run : t -> (int -> unit) -> unit
+
+val inline_ : int -> t
+(** A runner of the given width executing every slice sequentially on
+    the calling domain, in slice order. *)
+
+val slice : len:int -> width:int -> int -> int * int
+(** [slice ~len ~width i] is the [i]-th contiguous index range
+    [(lo, hi)] (inclusive; empty when [lo > hi]) of a [width]-way
+    partition of [0 .. len-1]. Concatenating the slices in slice order
+    re-yields [0 .. len-1] exactly. *)

@@ -378,6 +378,48 @@ let test_immix_write_meta_callback () =
   (* 600 bytes starting at a line boundary -> 3 lines *)
   check_int "marked lines reported" 3 !lines_seen
 
+(* The sweep's plan/apply protocol must be observation-equivalent at
+   any slice width: same stats, same on_dead and write_meta sequences,
+   same survivor order, and the same rebuilt allocation queue (pinned
+   by the address of the first post-sweep allocation). Width 4 runs on
+   a real worker-domain team. *)
+let test_immix_parallel_sweep_equiv () =
+  let build () =
+    let w = fresh_words () in
+    let sp = mk_immix ~arena:(fresh_arena ~size:(8 * Layout.mature_region) ()) w () in
+    for i = 1 to 40_000 do
+      let death = if i mod 3 = 0 then infinity else float_of_int (i mod 11) in
+      ignore (Immix_space.alloc sp (obj w ~size:(16 + (8 * (i mod 120))) ~death ()))
+    done;
+    (w, sp)
+  in
+  let run par =
+    let w, sp = build () in
+    let deads = ref [] and metas = ref [] in
+    let stats =
+      Immix_space.sweep sp ~now:5.5
+        ~write_meta:(fun ~block_index ~lines -> metas := (block_index, lines) :: !metas)
+        ~on_dead:(fun o -> deads := o :: !deads)
+        ?par ()
+    in
+    let survivors = Kg_util.Vec.to_array (Immix_space.objects sp) in
+    let next = obj w ~size:64 () in
+    ignore (Immix_space.alloc sp next);
+    (stats, List.rev !deads, List.rev !metas, survivors, O.addr w next,
+     Immix_space.audit sp)
+  in
+  let team = Kg_gc.Gc_par.create ~domains:4 ~parallel:true in
+  Fun.protect ~finally:(fun () -> Kg_gc.Gc_par.shutdown team) @@ fun () ->
+  let s1, d1, m1, v1, a1, audit1 = run None in
+  let s4, d4, m4, v4, a4, audit4 = run (Some (Kg_gc.Gc_par.runner team)) in
+  check_bool "sweep stats equal" true (s1 = s4);
+  check_bool "on_dead order equal" true (d1 = d4);
+  check_bool "write_meta sequence equal" true (m1 = m4);
+  check_bool "survivor order equal" true (v1 = v4);
+  check_int "next alloc address equal" a1 a4;
+  Alcotest.(check (list string)) "audit clean (one slice)" [] audit1;
+  Alcotest.(check (list string)) "audit clean (team)" [] audit4
+
 let test_immix_region_lookup () =
   let w = fresh_words () in
   let sp = mk_immix w () in
@@ -676,6 +718,27 @@ let test_freelist_sweep_zero_survivors () =
   check_int "no cell bytes" 0 (Freelist_space.cell_bytes sp);
   check_int "cells all free again" (free_before + 10) (Freelist_space.free_cells sp)
 
+(* The packed per-object class side table (which replaced a Hashtbl)
+   must keep serving classes through its doubling growth and across
+   sweep reclaim/reuse cycles: a swept object's cell goes back to the
+   class it was allocated from even when its recorded size would round
+   to the same class, and ids far past the initial table size work. *)
+let test_freelist_class_table_growth () =
+  let w = fresh_words () in
+  let sp = mk_freelist w () in
+  (* push the id space well past the table's initial 1024 slots *)
+  for _ = 1 to 3000 do
+    ignore (obj w ~size:16 ())
+  done;
+  let doomed = obj w ~size:50 ~death:5.0 () in
+  (* 50 rounds up to the 56-byte class *)
+  ignore (Freelist_space.alloc sp doomed);
+  check_int "reclaims the rounded cell" 50 (Freelist_space.sweep sp ~now:10.0 ());
+  check_int "cell bytes back to zero" 0 (Freelist_space.cell_bytes sp);
+  let fresh = obj w ~size:56 () in
+  ignore (Freelist_space.alloc sp fresh);
+  check_int "56-byte cell reused (same class)" (O.addr w doomed) (O.addr w fresh)
+
 let freelist_no_overlap_qcheck =
   QCheck.Test.make ~name:"freelist: live cells never overlap" ~count:30
     QCheck.(small_list (int_range 16 8192))
@@ -759,6 +822,8 @@ let () =
           Alcotest.test_case "recycles lines" `Quick test_immix_recycles_lines;
           Alcotest.test_case "sweep classifies blocks" `Quick test_immix_sweep_stats_classify;
           Alcotest.test_case "write_meta callback" `Quick test_immix_write_meta_callback;
+          Alcotest.test_case "parallel sweep equivalence" `Quick
+            test_immix_parallel_sweep_equiv;
           Alcotest.test_case "region lookup" `Quick test_immix_region_lookup;
           Alcotest.test_case "remove foreign" `Quick test_immix_remove_foreign;
           Alcotest.test_case "fragmentation" `Quick test_immix_fragmentation;
@@ -787,6 +852,8 @@ let () =
           Alcotest.test_case "rejects large" `Quick test_freelist_rejects_large;
           Alcotest.test_case "alloc exactly at limit" `Quick test_freelist_alloc_exactly_at_limit;
           Alcotest.test_case "sweep zero survivors" `Quick test_freelist_sweep_zero_survivors;
+          Alcotest.test_case "class side table growth" `Quick
+            test_freelist_class_table_growth;
           q freelist_no_overlap_qcheck;
         ] );
       ("meta", [ Alcotest.test_case "accounting" `Quick test_meta_accounting ]);

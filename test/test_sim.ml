@@ -156,7 +156,7 @@ let tiny_env () =
   Experiments.make_env { Experiments.scale = 512; heap_scale = 8; cap_mb = 12; seed = 5 }
 
 let test_experiments_registry () =
-  check_int "22 experiments" 22 (List.length Experiments.all);
+  check_int "23 experiments" 23 (List.length Experiments.all);
   List.iter
     (fun (e : Experiments.experiment) ->
       check_bool (e.Experiments.id ^ " described") true
@@ -194,7 +194,7 @@ let test_pause_ordering () =
   Kg_util.Vec.iter
     (fun (phase, copied, scanned) ->
       let sum, n = Option.value (Hashtbl.find_opt acc phase) ~default:(0.0, 0) in
-      Hashtbl.replace acc phase (sum +. Time_model.pause_ms ~copied ~scanned, n + 1))
+      Hashtbl.replace acc phase (sum +. Time_model.pause_ms ~copied ~scanned (), n + 1))
     r.R.stats.Kg_gc.Gc_stats.collection_log;
   let avg phase =
     match Hashtbl.find_opt acc phase with
