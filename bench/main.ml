@@ -61,7 +61,20 @@
    --parallel-gc to run only this part, --parallel-gc-json FILE for
    the JSON trajectory point (BENCH_parallel_gc.json in the repo), and
    --assert-gc-speedup to exit nonzero if the modeled speedup falls
-   below 1.5x. *)
+   below 1.5x.
+
+   Part 9 benchmarks the server-scale serve mutator: a KG-W run of the
+   request/response workload at an offered-rate sweep, reporting wall
+   clock, request throughput and the two SLO histograms
+   (per-collection GC pauses and per-request latency). The sweep is
+   followed by an oracle differential at 2 domains with the team
+   collector on — every Gc_stats counter, request counter and
+   histogram bucket must match the inline oracle bit-for-bit;
+   divergence exits nonzero. Pass --serve to run only this part,
+   --serve-json FILE for the JSON trajectory point (BENCH_serve.json
+   in the repo), and --assert-serve-histogram to exit nonzero if any
+   rate's pause profile is degenerate (max pause > P50 > 0 must
+   hold). *)
 
 open Bechamel
 open Toolkit
@@ -755,6 +768,119 @@ let run_parallel_gc ?(json_out = None) () =
     json_out;
   speedup
 
+(* ------------------------------------------------------------------ *)
+(* Part 9: server-scale serve mutator with SLO histograms              *)
+
+(* The serve mutator rides the same epoch protocol as the batch
+   mutators, so the oracle differential is the same promise part 6
+   makes — extended to the request counters and both SLO histograms,
+   which is where a nondeterministic pause attribution would show up
+   first. The histogram gate is structural, not a timing threshold:
+   the modeled pause profile is a pure function of the run, so a
+   degenerate shape (zero P50, or max below P50) means the recorder
+   is wired wrong, not wind. *)
+let run_serve ?(json_out = None) () =
+  let module R = Kg_sim.Run in
+  let module S = Kg_serve.Server in
+  let module H = Kg_util.Hdr_histogram in
+  let module GS = Kg_gc.Gc_stats in
+  Printf.printf "\n== serve: offered-rate sweep + 2-domain oracle differential ==\n%!";
+  let bench = Kg_workload.Descriptor.find "pjbb" in
+  let go ?(threads = 1) ?(parallel_gc = false) ?(oracle = false) rate =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      R.run ~seed:11 ~scale:512 ~heap_scale:8 ~cap_mb:8 ~threads ~oracle ~parallel_gc
+        ~serve:{ S.default_config with S.rate = float_of_int rate }
+        ~mode:R.Count R.kg_w bench
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let metrics (r : R.result) =
+    match r.R.serve with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "FAIL: serve run carries no serve metrics\n%!";
+      exit 1
+  in
+  let rows =
+    List.map
+      (fun rate ->
+        let r, wall = go rate in
+        let s = metrics r in
+        Printf.printf
+          "  rate=%-5d  wall %5.2fs  %6d reqs  gc pause p50/p99/max %5.3f/%5.3f/%5.3f ms  \
+           req p50/p99 %5.3f/%5.3f ms\n\
+           %!"
+          rate wall s.R.requests (H.p50 s.R.pause_hist) (H.p99 s.R.pause_hist)
+          (H.max_value s.R.pause_hist) (H.p50 s.R.latency_hist) (H.p99 s.R.latency_hist);
+        (rate, wall, s))
+      [ 256; 1024; 1792 ]
+  in
+  (* Differential: team-collector parallel serve vs the inline oracle
+     at the middle rate. Agreement must be total. *)
+  let rp, wall_p = go ~threads:2 ~parallel_gc:true 1024 in
+  let ro, wall_o = go ~threads:2 ~parallel_gc:true ~oracle:true 1024 in
+  let sp = metrics rp and so = metrics ro in
+  let identical =
+    GS.equal rp.R.stats ro.R.stats
+    && sp.R.requests = so.R.requests
+    && sp.R.t1_hits = so.R.t1_hits
+    && sp.R.t2_hits = so.R.t2_hits
+    && sp.R.backend_fills = so.R.backend_fills
+    && sp.R.sessions_churned = so.R.sessions_churned
+    && H.equal sp.R.pause_hist so.R.pause_hist
+    && H.equal sp.R.latency_hist so.R.latency_hist
+  in
+  if not identical then begin
+    Printf.eprintf "FAIL: parallel serve and oracle diverged at 2 domains\n%!";
+    List.iter (Printf.eprintf "  %s\n%!") (GS.diff rp.R.stats ro.R.stats);
+    exit 1
+  end;
+  Printf.printf "  differential: 2-domain team run matches oracle (wall %.2fs vs %.2fs)\n%!"
+    wall_p wall_o;
+  let degenerate =
+    List.filter
+      (fun (_, _, (s : R.serve_metrics)) ->
+        not (H.max_value s.R.pause_hist > H.p50 s.R.pause_hist && H.p50 s.R.pause_hist > 0.0))
+      rows
+  in
+  List.iter
+    (fun (rate, _, _) ->
+      Printf.printf "  WARN: degenerate pause histogram at rate=%d\n%!" rate)
+    degenerate;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"serve\",\n\
+        \  \"benchmark\": \"pjbb\",\n\
+        \  \"collector\": \"kg-w\",\n\
+        \  \"cap_mb\": 8,\n\
+        \  \"rates\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"differential\": { \"domains\": 2, \"parallel_gc\": true, \"rate\": 1024, \
+         \"identical\": true }\n\
+         }\n"
+        (String.concat ",\n"
+           (List.map
+              (fun (rate, wall, (s : R.serve_metrics)) ->
+                Printf.sprintf
+                  "    { \"rate\": %d, \"wall_s\": %.3f, \"requests\": %d, \
+                   \"gc_pause_ms\": { \"p50\": %.4f, \"p99\": %.4f, \"p999\": %.4f, \
+                   \"max\": %.4f }, \"req_latency_ms\": { \"p50\": %.4f, \"p99\": %.4f, \
+                   \"p999\": %.4f } }"
+                  rate wall s.R.requests (H.p50 s.R.pause_hist) (H.p99 s.R.pause_hist)
+                  (H.p999 s.R.pause_hist) (H.max_value s.R.pause_hist)
+                  (H.p50 s.R.latency_hist) (H.p99 s.R.latency_hist)
+                  (H.p999 s.R.latency_hist))
+              rows));
+      close_out oc;
+      Printf.printf "  wrote %s\n%!" path)
+    json_out;
+  degenerate = []
+
 let () =
   let full =
     Array.exists (( = ) "--full") Sys.argv || Sys.getenv_opt "KG_BENCH_FULL" = Some "1"
@@ -780,6 +906,7 @@ let () =
   let pm_json_out = flag_arg "--parallel-json" in
   let hw_json_out = flag_arg "--heap-words-json" in
   let pg_json_out = flag_arg "--parallel-gc-json" in
+  let srv_json_out = flag_arg "--serve-json" in
   (* Exit nonzero if the batched port's cache-sim stack is slower than
      the per-access closure baseline. The threshold is 0.95x, not 1.0x:
      the two stacks are within a few percent of each other on the
@@ -820,17 +947,29 @@ let () =
       exit 1
     end
   in
+  (* Structural gate, not a timing one: the pause histogram is a pure
+     function of the modeled run, so a degenerate profile means the
+     recorder broke, not that the machine was loaded. *)
+  let check_serve_histogram ok =
+    if Array.exists (( = ) "--assert-serve-histogram") Sys.argv && not ok then begin
+      Printf.eprintf
+        "FAIL: serve pause histogram degenerate (need max pause > P50 > 0 at every rate)\n%!";
+      exit 1
+    end
+  in
   let ports_only = Array.exists (( = ) "--ports") Sys.argv in
   let ck_only = Array.exists (( = ) "--cache-kernel") Sys.argv in
   let pm_only = Array.exists (( = ) "--parallel-mutators") Sys.argv in
   let hw_only = Array.exists (( = ) "--heap-words") Sys.argv in
   let pg_only = Array.exists (( = ) "--parallel-gc") Sys.argv in
-  if ports_only || ck_only || pm_only || hw_only || pg_only then begin
+  let srv_only = Array.exists (( = ) "--serve") Sys.argv in
+  if ports_only || ck_only || pm_only || hw_only || pg_only || srv_only then begin
     if ports_only then check_port_speedup (run_ports ~json_out ());
     if ck_only then run_cache_kernel ~json_out:ck_json_out ();
     if pm_only then run_parallel_mutators ~json_out:pm_json_out ();
     if hw_only then check_heap_speedup (run_heap_words ~json_out:hw_json_out ());
-    if pg_only then check_gc_speedup (run_parallel_gc ~json_out:pg_json_out ())
+    if pg_only then check_gc_speedup (run_parallel_gc ~json_out:pg_json_out ());
+    if srv_only then check_serve_histogram (run_serve ~json_out:srv_json_out ())
   end
   else begin
     run_micro ();
@@ -840,5 +979,6 @@ let () =
     run_parallel_mutators ~json_out:pm_json_out ();
     check_heap_speedup (run_heap_words ~json_out:hw_json_out ());
     check_gc_speedup (run_parallel_gc ~json_out:pg_json_out ());
+    check_serve_histogram (run_serve ~json_out:srv_json_out ());
     run_engine jobs
   end

@@ -176,17 +176,37 @@ let check_cmd benches scale heap_scale cap_mb seed domains parallel_gc jobs =
           name,
           Kg_engine.Pool.submit pool (fun ~seed:_ ->
               R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~parallel_gc
-                ~check:true ~mode:R.Count spec d) ))
+                ~check:true ~mode:R.Count spec d),
+          (* Above one domain, also run the inline oracle so the audit
+             covers the team protocol's determinism: statistics and the
+             per-collection pause profile must match exactly. *)
+          if domains <= 1 then None
+          else
+            Some
+              (Kg_engine.Pool.submit pool (fun ~seed:_ ->
+                   R.run ~seed ~scale ~heap_scale ~cap_mb ~threads:domains ~parallel_gc
+                     ~oracle:true ~check:true ~mode:R.Count spec d)) ))
       matrix
   in
   List.iter
-    (fun (bench, name, fut) ->
+    (fun (bench, name, fut, oracle_fut) ->
       let r = Kg_engine.Pool.await fut in
       let st = r.R.stats in
       let gcs = st.GS.nursery_gcs + st.GS.observer_gcs + st.GS.major_gcs in
-      match r.R.check_violations with
+      let oracle_diffs =
+        match oracle_fut with
+        | None -> []
+        | Some f ->
+          let ro = Kg_engine.Pool.await f in
+          GS.diff r.R.stats ro.R.stats
+          @ GS.diff_pauses r.R.stats ro.R.stats
+              ~pause_ms:(R.pause_model ~domains ~parallel_gc ())
+      in
+      match r.R.check_violations @ oracle_diffs with
       | [] ->
-        Printf.printf "ok   %-10s %-9s %4d collections audited, 0 violations\n" bench name gcs
+        Printf.printf "ok   %-10s %-9s %4d collections audited, 0 violations%s\n" bench name
+          gcs
+          (if oracle_fut = None then "" else ", pause profile matches oracle")
       | vs ->
         incr failures;
         Printf.printf "FAIL %-10s %-9s %d violation(s) in %d collections:\n" bench name
@@ -313,8 +333,9 @@ let cmds =
   let experiments =
     Cmd.v (Cmd.info "experiments" ~doc:Kg_cli.Experiments_cmd.doc) Kg_cli.Experiments_cmd.term
   in
+  let serve = Cmd.v (Cmd.info "serve" ~doc:Kg_cli.Serve_cmd.doc) Kg_cli.Serve_cmd.term in
   Cmd.group
     (Cmd.info "kingsguard" ~doc:"Write-rationing GC simulator")
-    [ run; list; check; replay; experiments ]
+    [ run; list; check; replay; experiments; serve ]
 
 let () = exit (Cmd.eval' cmds)

@@ -14,10 +14,6 @@ let doc = "Regenerate the paper's tables and figures"
 
 let run_experiments list_only names quick scale heap_scale cap_mb seed csv out_dir jobs
     no_cache cache_dir progress =
-  if list_only then begin
-    List.iter (fun (e : E.experiment) -> Printf.printf "%-18s %s\n" e.E.id e.E.doc) E.all;
-    exit 0
-  end;
   let base = if quick then E.quick_opts else E.default_opts in
   let opts =
     {
@@ -27,6 +23,26 @@ let run_experiments list_only names quick scale heap_scale cap_mb seed csv out_d
       seed;
     }
   in
+  if list_only then begin
+    (* Job counts and cache-key prefixes are functions of the options,
+       so --list honours --quick/--scale/... like a real run would. *)
+    let lcp a b =
+      let n = min (String.length a) (String.length b) in
+      let i = ref 0 in
+      while !i < n && a.[!i] = b.[!i] do incr i done;
+      String.sub a 0 !i
+    in
+    List.iter
+      (fun (e : E.experiment) ->
+        let jobs = e.E.runs opts in
+        Printf.printf "%-18s %3d jobs  %s\n" e.E.id (List.length jobs) e.E.doc;
+        match List.map (fun j -> Kg_engine.Store.key ~opts j) jobs with
+        | [] -> ()
+        | first :: rest ->
+          Printf.printf "%-18s %9s  key: %s...\n" "" "" (List.fold_left lcp first rest))
+      E.all;
+    exit 0
+  end;
   let selected =
     match names with
     | [] -> E.all

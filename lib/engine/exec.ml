@@ -35,11 +35,12 @@ let memo_add t key r =
   Mutex.unlock t.memo_m
 
 let label (j : E.job) =
-  Printf.sprintf "%s/%s/%s%s"
+  Printf.sprintf "%s/%s/%s%s%s"
     (match j.E.mode with Kg_sim.Run.Simulate -> "sim" | Kg_sim.Run.Count -> "cnt")
     (Kg_sim.Run.label j.E.spec)
     j.E.bench.Kg_workload.Descriptor.name
     (if j.E.trace then "+trace" else if j.E.threads > 1 then Printf.sprintf "x%d" j.E.threads else "")
+    (match j.E.serve with None -> "" | Some r -> Printf.sprintf "@%drps" r)
 
 (* Resolve a miss (not in the memo): store first, then compute and
    publish. Runs in whatever domain the pool put it on; everything it

@@ -5,8 +5,10 @@ module GS = Kg_gc.Gc_stats
 
 (* v2: multicore mutator domains — threaded runs now simulate real
    domain interleavings (per-domain nurseries, ports, sharded mature
-   allocation), so cached threaded results from v1 are stale. *)
-let format_version = 2
+   allocation), so cached threaded results from v1 are stale.
+   v3: serve-mode results carry request counters and pause/latency
+   histograms in a new [serve] field. *)
+let format_version = 3
 let default_dir = Filename.concat "results" ".cache"
 
 type t = { dir : string }
@@ -426,6 +428,56 @@ let energy_of_j j =
     dynamic_j = f "dynamic_j";
   }
 
+let hist_j h =
+  let module H = Kg_util.Hdr_histogram in
+  Obj
+    [
+      ("unit_value", float_j (H.unit_value h));
+      ("sub", Int (H.sub h));
+      ("octaves", Int (H.octaves h));
+      ("max_value", float_j (H.max_value h));
+      ( "bins",
+        Arr (List.map (fun (bin, count) -> Arr [ Int bin; Int count ]) (H.nonzero h)) );
+    ]
+
+let hist_of_j j =
+  let module H = Kg_util.Hdr_histogram in
+  H.restore ~unit_value:(to_float (member "unit_value" j))
+    ~sub:(to_int (member "sub" j))
+    ~octaves:(to_int (member "octaves" j))
+    ~max_value:(to_float (member "max_value" j))
+    (List.map
+       (fun e ->
+         match to_arr e with
+         | [ bin; count ] -> (to_int bin, to_int count)
+         | _ -> raise (Malformed "bad histogram bin"))
+       (to_arr (member "bins" j)))
+
+let serve_j (s : R.serve_metrics) =
+  Obj
+    [
+      ("requests", Int s.R.requests);
+      ("rate", float_j s.R.rate);
+      ("t1_hits", Int s.R.t1_hits);
+      ("t2_hits", Int s.R.t2_hits);
+      ("backend_fills", Int s.R.backend_fills);
+      ("sessions_churned", Int s.R.sessions_churned);
+      ("pause_hist", hist_j s.R.pause_hist);
+      ("latency_hist", hist_j s.R.latency_hist);
+    ]
+
+let serve_of_j j =
+  {
+    R.requests = to_int (member "requests" j);
+    rate = to_float (member "rate" j);
+    t1_hits = to_int (member "t1_hits" j);
+    t2_hits = to_int (member "t2_hits" j);
+    backend_fills = to_int (member "backend_fills" j);
+    sessions_churned = to_int (member "sessions_churned" j);
+    pause_hist = hist_of_j (member "pause_hist" j);
+    latency_hist = hist_of_j (member "latency_hist" j);
+  }
+
 let result_j (r : R.result) =
   Obj
     [
@@ -458,6 +510,7 @@ let result_j (r : R.result) =
              (fun (clock, pcm, dram) -> Arr [ float_j clock; float_j pcm; float_j dram ])
              r.R.trace) );
       ("check_violations", Arr (List.map (fun v -> Str v) r.R.check_violations));
+      ("serve", opt_j serve_j r.R.serve);
     ]
 
 let result_of_j j =
@@ -500,6 +553,7 @@ let result_of_j j =
           | _ -> raise (Malformed "bad trace entry"))
         (to_arr (member "trace" j));
     check_violations = List.map to_str (to_arr (member "check_violations" j));
+    serve = to_opt serve_of_j (member "serve" j);
   }
 
 let to_json r = to_string (result_j r)

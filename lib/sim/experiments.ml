@@ -14,10 +14,12 @@ type job = {
   threads : int;
   parallel_gc : bool;
   cap_mb : int option;
+  serve : int option;
 }
 
-let job ?(trace = false) ?(threads = 1) ?(parallel_gc = false) ?cap_mb mode spec bench =
-  { mode; spec; bench; trace; threads; parallel_gc; cap_mb }
+let job ?(trace = false) ?(threads = 1) ?(parallel_gc = false) ?cap_mb ?serve mode spec
+    bench =
+  { mode; spec; bench; trace; threads; parallel_gc; cap_mb; serve }
 
 let job_key o j =
   let s = j.spec in
@@ -38,12 +40,19 @@ let job_key o j =
     o.seed
   (* Appended only when set, so every pre-existing cache key (and the
      stored results behind it) stays valid. *)
-  ^ if j.parallel_gc then ";pargc" else ""
+  ^ (if j.parallel_gc then ";pargc" else "")
+  ^ match j.serve with None -> "" | Some r -> Printf.sprintf ";serve=%d" r
 
 let run_job o j =
+  let serve =
+    Option.map
+      (fun r -> { Kg_serve.Server.default_config with Kg_serve.Server.rate = float_of_int r })
+      j.serve
+  in
   Run.run ~seed:o.seed ~scale:o.scale ~heap_scale:o.heap_scale
     ~cap_mb:(Option.value j.cap_mb ~default:o.cap_mb)
-    ~trace:j.trace ~threads:j.threads ~parallel_gc:j.parallel_gc ~mode:j.mode j.spec j.bench
+    ~trace:j.trace ~threads:j.threads ~parallel_gc:j.parallel_gc ?serve ~mode:j.mode j.spec
+    j.bench
 
 type env = { o : opts; resolve : job -> Run.result }
 
@@ -62,8 +71,8 @@ let make_env o =
 
 let opts env = env.o
 
-let fetch env ?trace ?threads ?parallel_gc ?cap_mb mode spec bench =
-  env.resolve (job ?trace ?threads ?parallel_gc ?cap_mb mode spec bench)
+let fetch env ?trace ?threads ?parallel_gc ?cap_mb ?serve mode spec bench =
+  env.resolve (job ?trace ?threads ?parallel_gc ?cap_mb ?serve mode spec bench)
 
 let cap s = String.capitalize_ascii s
 let mean = Stats.mean
@@ -768,6 +777,80 @@ let ext_nursery_size env =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Serve extension: the paper evaluates batch heaps, where PCM write
+   *volume* is the figure of merit. A server heap pins the allocation
+   clock to an offered request rate, so the write *rate* — and with it
+   Equation 1's lifetime — becomes a function of load: the modeled
+   duration of an open-loop run is requests / rate, independent of the
+   simulated byte volume. The SLO figure reads the other side of the
+   same runs: per-collection pause and per-request latency percentiles
+   from the {!Kg_serve.Server} histograms. *)
+
+let serve_rates = [ 256; 1024; 1792 ]
+let serve_bench () = Descriptor.find "pjbb"
+
+let serve_lifetime env =
+  let t =
+    Table.create
+      ~columns:[ "Rate (req/s)"; "PCM-only (years)"; "KG-N (years)"; "KG-W (years)" ]
+  in
+  let b = serve_bench () in
+  List.iter
+    (fun rate ->
+      let life spec =
+        let r = fetch env ~serve:rate Run.Simulate spec b in
+        match r.Run.serve with
+        | Some s when s.Run.requests > 0 ->
+          let duration_s = float_of_int s.Run.requests /. s.Run.rate in
+          Kg_mem.Lifetime.years
+            ~size_bytes:(float_of_int (32 * Units.gib))
+            ~endurance:30e6
+            ~write_rate_bytes_per_s:(r.Run.mem_pcm_write_bytes /. duration_s)
+        | _ -> 0.0
+      in
+      Table.add_row t
+        (string_of_int rate
+        :: List.map (fun s -> f2 (life s)) [ Run.pcm_only; Run.kg_n; Run.kg_w ]))
+    serve_rates;
+  t
+
+let serve_slo env =
+  let module H = Hdr_histogram in
+  let t =
+    Table.create
+      ~columns:
+        [
+          "Rate"; "Collector"; "GC P50 ms"; "GC P99 ms"; "GC P99.9 ms"; "GC max ms";
+          "Req P50 ms"; "Req P99 ms"; "Requests";
+        ]
+  in
+  let b = serve_bench () in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun spec ->
+          let r = fetch env ~serve:rate Run.Count spec b in
+          match r.Run.serve with
+          | None -> ()
+          | Some s ->
+            Table.add_row t
+              [
+                string_of_int rate;
+                Run.label spec;
+                f2 (H.p50 s.Run.pause_hist);
+                f2 (H.p99 s.Run.pause_hist);
+                f2 (H.p999 s.Run.pause_hist);
+                f2 (H.max_value s.Run.pause_hist);
+                f2 (H.p50 s.Run.latency_hist);
+                f2 (H.p99 s.Run.latency_hist);
+                string_of_int s.Run.requests;
+              ])
+        [ Run.dram_only; Run.kg_n; Run.kg_b; Run.kg_w ];
+      Table.add_rule t)
+    serve_rates;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Registry: each experiment declares the run matrix it will fetch so
    an engine can resolve it (in parallel, against a persistent store)
    before the sequential table renderer asks for any cell. *)
@@ -976,6 +1059,32 @@ let all =
                 [ 4; 12; 32 ])
             [ "lusearch"; "pjbb"; "bloat"; "eclipse" ]);
       table = ext_nursery_size;
+    };
+    {
+      id = "serve-lifetime";
+      doc = "Serve: PCM lifetime vs offered request rate (open loop)";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun rate ->
+              List.map
+                (fun s -> job ~serve:rate Run.Simulate s (serve_bench ()))
+                [ Run.pcm_only; Run.kg_n; Run.kg_w ])
+            serve_rates);
+      table = serve_lifetime;
+    };
+    {
+      id = "serve-slo";
+      doc = "Serve: GC pause and request latency percentiles vs rate";
+      runs =
+        (fun _ ->
+          List.concat_map
+            (fun rate ->
+              List.map
+                (fun s -> job ~serve:rate Run.Count s (serve_bench ()))
+                [ Run.dram_only; Run.kg_n; Run.kg_b; Run.kg_w ])
+            serve_rates);
+      table = serve_slo;
     };
   ]
 

@@ -36,6 +36,10 @@ type job = {
   threads : int;  (** logical mutator threads (Table 3 extension) *)
   parallel_gc : bool;  (** collection phases on the worker-domain team *)
   cap_mb : int option;  (** per-job override of [opts.cap_mb] *)
+  serve : int option;
+      (** request rate (req/s): run the {!Kg_serve.Server} mutator at
+          [Kg_serve.Server.default_config] with this rate instead of
+          the batch mutator *)
 }
 (** One cell of the run matrix: everything that determines a
     {!Run.result} besides the environment options. *)
@@ -45,6 +49,7 @@ val job :
   ?threads:int ->
   ?parallel_gc:bool ->
   ?cap_mb:int ->
+  ?serve:int ->
   Run.mode ->
   Run.spec ->
   Kg_workload.Descriptor.t ->
@@ -81,6 +86,7 @@ val fetch :
   ?threads:int ->
   ?parallel_gc:bool ->
   ?cap_mb:int ->
+  ?serve:int ->
   Run.mode ->
   Run.spec ->
   Kg_workload.Descriptor.t ->
@@ -100,8 +106,8 @@ type experiment = {
 }
 
 val all : experiment list
-(** Every experiment: tab1-tab4, fig1, fig2, fig5-fig13, and the
-    ext-* extensions. *)
+(** Every experiment: tab1-tab4, fig1, fig2, fig5-fig13, the ext-*
+    extensions, and the serve-* request/response figures. *)
 
 val run_by_name : env -> string -> Kg_util.Table.t
 (** Raises [Not_found] for an unknown id. *)

@@ -32,18 +32,41 @@ let kg_w_no_loo_mdo =
   { kg_n with collector = Gc_config.Kg_writers { loo = false; mdo = false; pm = true } }
 
 let kg_w_no_pm = { kg_n with collector = Gc_config.Kg_writers { loo = true; mdo = true; pm = false } }
+
+(* KG-B ("balanced"): KG-W with the observer shrunk to nursery size
+   instead of the paper's 2x. Objects spend half as long under write
+   observation — shorter observer pauses and less tenured-garbage
+   delay, at the cost of classifying on half the write evidence. The
+   serve SLO figures sweep it between KG-N and KG-W. *)
+let kg_b = { kg_n with collector = Gc_config.kg_w_default; observer_mb = Some 4 }
 let dram_only = { kg_n with system = Machine.Dram_only; collector = Gc_config.Gen_immix }
 let pcm_only = { dram_only with system = Machine.Pcm_only }
 let wp = { kg_n with collector = Gc_config.Gen_immix; wp = true }
 
 let label spec =
   if spec.wp then "WP"
+  else if spec = kg_b then "KG-B"
   else
     match spec.collector with
     | Gc_config.Gen_immix -> Machine.system_name spec.system
     | c ->
       Gc_config.name
         (Gc_config.make ~nursery_mb:spec.nursery_mb ~heap_mb:64 c)
+
+(* Everything the SLO figures read off a serve run: the request
+   counters plus the two log-bucketed histograms. [rate] is echoed
+   from the config so tables can reconstruct the modeled duration
+   (requests / rate) without re-deriving the job. *)
+type serve_metrics = {
+  requests : int;
+  rate : float;
+  t1_hits : int;
+  t2_hits : int;
+  backend_fills : int;
+  sessions_churned : int;
+  pause_hist : Hdr_histogram.t;
+  latency_hist : Hdr_histogram.t;
+}
 
 type result = {
   bench : Descriptor.t;
@@ -70,7 +93,14 @@ type result = {
   meta_mb : float;
   trace : (float * float * float) list;
   check_violations : string list;
+  serve : serve_metrics option;
 }
+
+(* The pause-time model handed to the serve recorder and the pause
+   profile helpers: Time_model.pause_ms with the run's domain count
+   applied, in the shape Gc_stats.pause_log expects. *)
+let pause_model ?(domains = 1) ?(parallel_gc = false) () =
+ fun (_ : Phase.t) ~copied ~scanned -> Time_model.pause_ms ~domains ~parallel_gc ~copied ~scanned ()
 
 (* The engine simulates one mutator thread; the paper's 4-core rates
    run the multithreaded benchmarks across all cores, and write rates
@@ -106,8 +136,12 @@ let config_of ~heap_scale spec bench =
 
 let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = false)
     ?(threads = 1) ?(schedule_seed = 0) ?(oracle = false) ?(parallel_gc = false)
-    ?(check = false) ?recorder ~mode spec bench =
-  (* The oracle protocol runs every parallel component inline. *)
+    ?(check = false) ?recorder ?serve ~mode spec bench =
+  (* The oracle protocol runs every parallel component inline. The
+     requested flag still drives the pause-time model: the oracle
+     models the same machine, executed inline, so its pause profile
+     must match the team run's bit for bit. *)
+  let modeled_parallel_gc = parallel_gc in
   let parallel_gc = parallel_gc && not oracle in
   let live_mb = live_mb_of ~heap_scale bench in
   let cfg = config_of ~heap_scale spec bench in
@@ -149,13 +183,45 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
   let audit_acc =
     if check then Some (Verify.attach ?counters:!counting_counters rt) else None
   in
-  let mutator = Mutator.create ~live_mb ~threads ~schedule_seed ~oracle bench ~rt ~seed:(seed + 1) in
-  Mutator.allocate_startup mutator;
-  (* Demographics reflect steady state, not boot-image construction. *)
-  Option.iter (fun r -> Trace.record r Trace.Reset_stats) recorder;
-  Gc_stats.reset (Runtime.stats rt);
   let alloc_bytes = Mutator.scaled_alloc_bytes bench ~scale ~cap_mb in
-  Mutator.run mutator ~alloc_bytes ();
+  let serve_metrics =
+    match serve with
+    | None ->
+      let mutator =
+        Mutator.create ~live_mb ~threads ~schedule_seed ~oracle bench ~rt ~seed:(seed + 1)
+      in
+      Mutator.allocate_startup mutator;
+      (* Demographics reflect steady state, not boot-image construction. *)
+      Option.iter (fun r -> Trace.record r Trace.Reset_stats) recorder;
+      Gc_stats.reset (Runtime.stats rt);
+      Mutator.run mutator ~alloc_bytes ();
+      None
+    | Some serve_cfg ->
+      let module S = Kg_serve.Server in
+      let srv =
+        S.create ~live_mb ~threads ~schedule_seed ~oracle ~config:serve_cfg bench ~rt
+          ~seed:(seed + 1)
+      in
+      S.allocate_startup srv;
+      Option.iter (fun r -> Trace.record r Trace.Reset_stats) recorder;
+      Gc_stats.reset (Runtime.stats rt);
+      (* Attached after the reset so boot collections stay out of the
+         pause profile, like every other steady-state statistic. *)
+      S.attach_pause_recorder srv
+        ~pause_ms:(pause_model ~domains:threads ~parallel_gc:modeled_parallel_gc ());
+      S.run srv ~alloc_bytes;
+      Some
+        {
+          requests = S.request_count srv;
+          rate = serve_cfg.S.rate;
+          t1_hits = S.tier1_hits srv;
+          t2_hits = S.tier2_hits srv;
+          backend_fills = S.backend_fills srv;
+          sessions_churned = S.sessions_churned srv;
+          pause_hist = S.pauses srv;
+          latency_hist = S.latencies srv;
+        }
+  in
   Option.iter (fun r -> Trace.record r Trace.Flush_retirement) recorder;
   Runtime.flush_retirement_stats rt;
   (* Push buffered port records to the sink before the final cache
@@ -218,6 +284,7 @@ let run ?(seed = 42) ?(scale = 16) ?(heap_scale = 3) ?(cap_mb = 256) ?(trace = f
           Verify.audit ?counters:!counting_counters ~phase:Phase.Application rt
         in
         List.map Verify.to_string (Array.to_list (Vec.to_array acc) @ final));
+    serve = serve_metrics;
   }
 
 let record ?seed ?scale ?heap_scale ?cap_mb ?check spec bench =

@@ -22,11 +22,28 @@ val kg_w : spec
 val kg_w_no_loo : spec
 val kg_w_no_loo_mdo : spec
 val kg_w_no_pm : spec
+
+val kg_b : spec
+(** KG-B ("balanced"): KG-W with a nursery-sized observer instead of
+    the paper's 2x — shorter observer pauses on half the write
+    evidence. Swept between KG-N and KG-W by the serve SLO figures. *)
+
 val dram_only : spec
 val pcm_only : spec
 val wp : spec
 
 val label : spec -> string
+
+type serve_metrics = {
+  requests : int;
+  rate : float;  (** echoed from the serve config; duration_s = requests / rate *)
+  t1_hits : int;
+  t2_hits : int;
+  backend_fills : int;
+  sessions_churned : int;
+  pause_hist : Kg_util.Hdr_histogram.t;  (** per-collection STW pauses, ms *)
+  latency_hist : Kg_util.Hdr_histogram.t;  (** per-request end-to-end latency, ms *)
+}
 
 type result = {
   bench : Kg_workload.Descriptor.t;
@@ -59,7 +76,14 @@ type result = {
   check_violations : string list;
       (** heap-auditor violations, in detection order ([] unless run
           with [~check:true] — and, hopefully, with it) *)
+  serve : serve_metrics option;  (** populated by serve-mode runs only *)
 }
+
+val pause_model :
+  ?domains:int -> ?parallel_gc:bool -> unit ->
+  Kg_gc.Phase.t -> copied:int -> scanned:int -> float
+(** {!Time_model.pause_ms} in the shape
+    {!Kg_gc.Gc_stats.pause_log} and the serve pause recorder expect. *)
 
 val pcm_write_rate_4core_gbs : result -> float
 (** Simulated PCM write rate: writeback bytes / reconstructed time. *)
@@ -82,6 +106,7 @@ val run :
   ?parallel_gc:bool ->
   ?check:bool ->
   ?recorder:Kg_gc.Trace.recorder ->
+  ?serve:Kg_serve.Server.config ->
   mode:mode ->
   spec ->
   Kg_workload.Descriptor.t ->
@@ -110,7 +135,13 @@ val run :
     to every collection phase plus a final end-of-run audit, reporting
     violations in [check_violations]. [recorder] records every
     runtime-API event plus the driver's reset/flush markers into a
-    replayable {!Kg_gc.Trace}. *)
+    replayable {!Kg_gc.Trace}.
+
+    [serve] replaces the batch mutator with the {!Kg_serve.Server}
+    request/response mutator at the given config (same epoch protocol,
+    so every flag above composes unchanged) and populates
+    [result.serve] with the request counters and the pause/latency
+    histograms. *)
 
 val record :
   ?seed:int ->

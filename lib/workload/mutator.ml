@@ -525,35 +525,9 @@ let generate t d snap =
   done;
   ops
 
-(* Interleave the domains' op streams into one schedule: repeatedly
-   pick a domain with ops remaining and take a chunk, both drawn from
-   the schedule PRNG. Per-domain order is preserved. *)
-let merge_schedule t (streams : op Vec.t array) =
-  let n = Array.length streams in
-  let pos = Array.make n 0 in
-  let remaining = ref 0 in
-  Array.iter (fun s -> remaining := !remaining + Vec.length s) streams;
-  let out = Vec.create () in
-  let alive = Array.make n 0 in
-  while !remaining > 0 do
-    let na = ref 0 in
-    for d = 0 to n - 1 do
-      if pos.(d) < Vec.length streams.(d) then begin
-        alive.(!na) <- d;
-        incr na
-      end
-    done;
-    let d = alive.(Rng.int t.sched_rng !na) in
-    let chunk = 1 + Rng.int t.sched_rng 8 in
-    let len = Vec.length streams.(d) in
-    let take = min chunk (len - pos.(d)) in
-    for _ = 1 to take do
-      Vec.push out (d, Vec.get streams.(d) pos.(d));
-      pos.(d) <- pos.(d) + 1
-    done;
-    remaining := !remaining - take
-  done;
-  out
+(* The schedule merge itself is op-type agnostic and shared with the
+   Kg_serve request mutator — see Epoch.merge_schedule. *)
+let merge_schedule t (streams : op Vec.t array) = Epoch.merge_schedule t.sched_rng streams
 
 (* Apply one epoch's merged schedule through the domain-tagged runtime
    interface. Shared-pool registration happens here, on the
@@ -605,17 +579,8 @@ let epoch_barrier t (epoch_allocs : O.t Vec.t array) =
   Vec.filter_in_place (fun o -> O.is_live t.words o now) t.warm;
   Vec.filter_in_place (fun o -> O.is_live t.words o now) t.cold
 
-(* The worker team: one real Domain per mutator domain above 0 (the
-   coordinator generates domain 0's stream itself while waiting),
-   parked on a condition variable between epochs. *)
-type team = {
-  tm : Mutex.t;
-  tcv : Condition.t;
-  mutable t_epoch : int;
-  mutable t_done : int;
-  mutable t_stop : bool;
-}
-
+(* The worker team (real Domains above 0, coordinator generating
+   domain 0's stream while waiting) is the shared Epoch.team. *)
 let run_epochs t ~alloc_bytes ~on_tick ~tick_bytes =
   let n = t.nthreads in
   let start = Rt.now t.rt in
@@ -623,41 +588,7 @@ let run_epochs t ~alloc_bytes ~on_tick ~tick_bytes =
   let target = start +. float_of_int alloc_bytes in
   let streams : op Vec.t array = Array.init n (fun _ -> Vec.create ()) in
   let snap = ref { s_now = 0.0; s_nursery_free = [||] } in
-  let team = { tm = Mutex.create (); tcv = Condition.create (); t_epoch = 0; t_done = 0; t_stop = false } in
-  let worker d () =
-    let seen = ref 0 in
-    let running = ref true in
-    while !running do
-      Mutex.lock team.tm;
-      while team.t_epoch = !seen && not team.t_stop do
-        Condition.wait team.tcv team.tm
-      done;
-      if team.t_stop then begin
-        running := false;
-        Mutex.unlock team.tm
-      end
-      else begin
-        seen := team.t_epoch;
-        Mutex.unlock team.tm;
-        streams.(d) <- generate t d !snap;
-        Mutex.lock team.tm;
-        team.t_done <- team.t_done + 1;
-        Condition.broadcast team.tcv;
-        Mutex.unlock team.tm
-      end
-    done
-  in
-  let workers =
-    if t.oracle then [||]
-    else Array.init (n - 1) (fun i -> Domain.spawn (worker (i + 1)))
-  in
-  let finish () =
-    Mutex.lock team.tm;
-    team.t_stop <- true;
-    Condition.broadcast team.tcv;
-    Mutex.unlock team.tm;
-    Array.iter Domain.join workers
-  in
+  let team = Epoch.spawn ~n ~oracle:t.oracle (fun d -> streams.(d) <- generate t d !snap) in
   (try
      while Rt.now t.rt < target do
        snap :=
@@ -665,23 +596,7 @@ let run_epochs t ~alloc_bytes ~on_tick ~tick_bytes =
            s_now = Rt.now t.rt;
            s_nursery_free = Array.init n (fun d -> Rt.nursery_free ~domain:d t.rt);
          };
-       if t.oracle then
-         for d = 0 to n - 1 do
-           streams.(d) <- generate t d !snap
-         done
-       else begin
-         Mutex.lock team.tm;
-         team.t_done <- 0;
-         team.t_epoch <- team.t_epoch + 1;
-         Condition.broadcast team.tcv;
-         Mutex.unlock team.tm;
-         streams.(0) <- generate t 0 !snap;
-         Mutex.lock team.tm;
-         while team.t_done < n - 1 do
-           Condition.wait team.tcv team.tm
-         done;
-         Mutex.unlock team.tm
-       end;
+       Epoch.round team;
        let merged = merge_schedule t streams in
        let epoch_allocs = Array.init n (fun _ -> Vec.create ()) in
        apply_schedule t merged epoch_allocs;
@@ -692,9 +607,9 @@ let run_epochs t ~alloc_bytes ~on_tick ~tick_bytes =
        end
      done
    with e ->
-     finish ();
+     Epoch.finish team;
      raise e);
-  finish ()
+  Epoch.finish team
 
 let run t ~alloc_bytes ?(on_tick = fun _ -> ()) ?(tick_bytes = Units.mib) () =
   if t.nthreads = 1 then run_sequential t ~alloc_bytes ~on_tick ~tick_bytes

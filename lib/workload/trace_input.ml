@@ -5,6 +5,7 @@ type event =
   | Alloc of { size : int; lifetime : float; heat : O.heat }
   | Write of { back : int; is_ref : bool }
   | Read of { back : int; burst : int }
+  | Request of { issue : float }
 
 let window = 4096
 
@@ -53,20 +54,36 @@ let parse_line line =
       | [ b ] -> int_of "burst" b
       | _ -> Error "trailing tokens after read")
       >>= fun burst -> Ok (Some (Read { back; burst = max 1 burst }))
+    | "req" :: stamp :: rest ->
+      (match float_of_string_opt stamp with
+      | Some v when v >= 0.0 -> Ok v
+      | _ -> Error (Printf.sprintf "bad issue stamp %S" stamp))
+      >>= fun issue ->
+      (match rest with [] -> Ok () | _ -> Error "trailing tokens after req")
+      >>= fun () -> Ok (Some (Request { issue }))
+    | [ "req" ] -> Error "req needs an issue stamp"
     | verb :: _ -> Error (Printf.sprintf "unknown event %S" verb)
     | [] -> Ok None
 
 let parse_string text =
   let lines = String.split_on_char '\n' text in
-  let rec go n acc = function
+  (* Request issue stamps describe an arrival process, so the serve
+     replay path requires them to be non-decreasing across the trace. *)
+  let rec go n last_issue acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
       match parse_line line with
-      | Ok None -> go (n + 1) acc rest
-      | Ok (Some e) -> go (n + 1) (e :: acc) rest
+      | Ok None -> go (n + 1) last_issue acc rest
+      | Ok (Some (Request { issue } as e)) ->
+        if issue < last_issue then
+          Error
+            (Printf.sprintf "line %d: issue stamp out of order: %g after %g" n issue
+               last_issue)
+        else go (n + 1) issue (e :: acc) rest
+      | Ok (Some e) -> go (n + 1) last_issue (e :: acc) rest
       | Error m -> Error (Printf.sprintf "line %d: %s" n m))
   in
-  go 1 [] lines
+  go 1 0.0 [] lines
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -101,5 +118,6 @@ let replay rt events =
             | None -> Rt.write_prim rt o
           else Rt.write_prim rt o)
       | Read { back; burst } -> (
-        match lookup back with Some o -> Rt.read_burst rt o burst | None -> ()))
+        match lookup back with Some o -> Rt.read_burst rt o burst | None -> ())
+      | Request _ -> ())
     events

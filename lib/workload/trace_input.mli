@@ -10,18 +10,27 @@
     alloc <size-bytes> <lifetime-bytes|inf> [hot|warm|cold]
     write <index-back> [ref|prim]
     read <index-back> [burst]
+    req <issue-stamp>
     v}
 
     [index-back] addresses a previously allocated object: 0 is the most
     recent allocation, 1 the one before it, etc. (a sliding window of
     the last 4096 allocations); dead or out-of-window targets are
     skipped. Lifetimes are in bytes of future allocation, matching the
-    simulator's allocation clock. *)
+    simulator's allocation clock.
+
+    [req] marks a request boundary for server traces: the events that
+    follow (until the next [req]) belong to a request issued at
+    [issue-stamp] on the same allocation clock. Issue stamps must be
+    non-decreasing across the trace — an open-loop arrival process
+    cannot run backwards — and {!val:parse_string} rejects out-of-order
+    stamps with a line-numbered error. *)
 
 type event =
   | Alloc of { size : int; lifetime : float; heat : Kg_heap.Object_model.heat }
   | Write of { back : int; is_ref : bool }
   | Read of { back : int; burst : int }
+  | Request of { issue : float }
 
 val parse_line : string -> (event option, string) result
 (** [Ok None] for blank/comment lines; [Error msg] names the problem. *)
@@ -34,4 +43,5 @@ val load : string -> (event list, string) result
 
 val replay : Kg_gc.Runtime.t -> event list -> unit
 (** Execute the events against a runtime (allocation, barriers, GCs
-    all behave exactly as under the synthetic mutator). *)
+    all behave exactly as under the synthetic mutator). [Request]
+    markers carry no heap work of their own and replay as no-ops. *)

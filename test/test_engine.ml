@@ -170,7 +170,21 @@ let compare_results msg (a : R.result) (b : R.result) =
   check_float_bits (msg ^ ": meta_mb") a.R.meta_mb b.R.meta_mb;
   check_int (msg ^ ": trace length") (List.length a.R.trace) (List.length b.R.trace);
   check_bool (msg ^ ": trace samples") true (a.R.trace = b.R.trace);
-  check_bool (msg ^ ": check_violations") true (a.R.check_violations = b.R.check_violations)
+  check_bool (msg ^ ": check_violations") true (a.R.check_violations = b.R.check_violations);
+  match (a.R.serve, b.R.serve) with
+  | None, None -> ()
+  | Some sa, Some sb ->
+    let module H = Kg_util.Hdr_histogram in
+    check_int (msg ^ ": serve requests") sa.R.requests sb.R.requests;
+    check_float_bits (msg ^ ": serve rate") sa.R.rate sb.R.rate;
+    check_int (msg ^ ": serve t1_hits") sa.R.t1_hits sb.R.t1_hits;
+    check_int (msg ^ ": serve t2_hits") sa.R.t2_hits sb.R.t2_hits;
+    check_int (msg ^ ": serve backend_fills") sa.R.backend_fills sb.R.backend_fills;
+    check_int (msg ^ ": serve sessions_churned") sa.R.sessions_churned sb.R.sessions_churned;
+    check_bool (msg ^ ": serve pause_hist") true (H.equal sa.R.pause_hist sb.R.pause_hist);
+    check_bool (msg ^ ": serve latency_hist") true
+      (H.equal sa.R.latency_hist sb.R.latency_hist)
+  | _ -> Alcotest.fail (msg ^ ": serve presence differs")
 
 let o = engine_opts
 
@@ -195,6 +209,17 @@ let test_store_roundtrip_simulate () =
   let r' = Store.of_json (Store.to_json r) in
   compare_results "simulate round-trip" r r'
 
+let test_store_roundtrip_serve () =
+  let r = E.run_job o (E.job ~serve:512 R.Count R.kg_w (D.find "pjbb")) in
+  (match r.R.serve with
+  | None -> Alcotest.fail "serve metrics missing from a serve run"
+  | Some s ->
+    check_bool "requests served" true (s.R.requests > 0);
+    check_bool "latency histogram populated" true
+      (Kg_util.Hdr_histogram.count s.R.latency_hist = s.R.requests));
+  let r' = Store.of_json (Store.to_json r) in
+  compare_results "serve round-trip" r r'
+
 let test_store_key () =
   let j = E.job R.Count R.kg_w (D.find "fop") in
   let k = Store.key ~opts:o j in
@@ -208,7 +233,9 @@ let test_store_key () =
   check_bool "mode is part of the key" true
     (k <> Store.key ~opts:o (E.job R.Simulate R.kg_w (D.find "fop")));
   check_bool "spec is part of the key" true
-    (k <> Store.key ~opts:o (E.job R.Count R.kg_n (D.find "fop")))
+    (k <> Store.key ~opts:o (E.job R.Count R.kg_n (D.find "fop")));
+  check_bool "serve rate is part of the key" true
+    (k <> Store.key ~opts:o (E.job ~serve:512 R.Count R.kg_w (D.find "fop")))
 
 let test_store_find_store () =
   let s = Store.create ~dir:(temp_dir ()) () in
@@ -373,6 +400,7 @@ let () =
         [
           Alcotest.test_case "count round-trip (trace+check)" `Quick test_store_roundtrip_count;
           Alcotest.test_case "simulate round-trip (energy)" `Quick test_store_roundtrip_simulate;
+          Alcotest.test_case "serve round-trip (histograms)" `Quick test_store_roundtrip_serve;
           Alcotest.test_case "key scheme" `Quick test_store_key;
           Alcotest.test_case "find/store" `Quick test_store_find_store;
           Alcotest.test_case "corruption and version invalidation" `Quick test_store_corruption;

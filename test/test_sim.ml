@@ -156,7 +156,7 @@ let tiny_env () =
   Experiments.make_env { Experiments.scale = 512; heap_scale = 8; cap_mb = 12; seed = 5 }
 
 let test_experiments_registry () =
-  check_int "23 experiments" 23 (List.length Experiments.all);
+  check_int "25 experiments" 25 (List.length Experiments.all);
   List.iter
     (fun (e : Experiments.experiment) ->
       check_bool (e.Experiments.id ^ " described") true

@@ -266,6 +266,81 @@ let test_hist_cov_uniform () =
   check_float "uniform CoV" 0.0 (Histogram.coefficient_of_variation h)
 
 (* ------------------------------------------------------------------ *)
+(* Hdr_histogram                                                       *)
+
+module H = Hdr_histogram
+
+let test_hdr_empty () =
+  let h = H.create () in
+  check_int "count" 0 (H.count h);
+  check_float "max" 0.0 (H.max_value h);
+  check_float "quantile" 0.0 (H.quantile h 0.5);
+  check_float "relative error" (1.0 /. 32.0) (H.relative_error h)
+
+let test_hdr_basics () =
+  let h = H.create () in
+  List.iter (H.add h) [ 1.0; 2.0; 4.0; 8.0 ];
+  H.addn h 100.0 2;
+  check_int "count" 6 (H.count h);
+  check_float "max exact" 100.0 (H.max_value h);
+  check_bool "p50 near 4" true (H.p50 h >= 4.0 && H.p50 h <= 4.0 *. (1.0 +. H.relative_error h));
+  check_bool "summary renders" true (String.length (H.summary h) > 0)
+
+let test_hdr_restore_roundtrip () =
+  let h = H.create ~unit_value:1e-3 ~sub:16 ~octaves:30 () in
+  List.iter (H.add h) [ 0.0001; 0.5; 3.25; 777.0; 1e9 ];
+  let h' =
+    H.restore ~unit_value:(H.unit_value h) ~sub:(H.sub h) ~octaves:(H.octaves h)
+      ~max_value:(H.max_value h) (H.nonzero h)
+  in
+  check_bool "roundtrip equal" true (H.equal h h')
+
+let test_hdr_merge_mismatch () =
+  let a = H.create ~sub:16 () and b = H.create ~sub:32 () in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Hdr_histogram.merge: geometry mismatch") (fun () ->
+      ignore (H.merge a b))
+
+(* The documented error bound against an exact nearest-rank oracle:
+   exact <= quantile <= exact * (1 + 1/sub), one float rounding each
+   side, for samples above unit_value. *)
+let hdr_quantile_qcheck =
+  QCheck.Test.make ~name:"hdr quantile within bucket error of exact nearest-rank" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_range 2e-3 1e4)) (float_range 0.0 1.0))
+    (fun (samples, q) ->
+      let h = H.create () in
+      List.iter (H.add h) samples;
+      let sorted = Array.of_list (List.sort compare samples) in
+      let n = Array.length sorted in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let exact = sorted.(rank - 1) in
+      let est = H.quantile h q in
+      if est < exact *. (1.0 -. 1e-9) then
+        QCheck.Test.fail_reportf "quantile %g below exact %g at q=%g" est exact q;
+      if est > exact *. (1.0 +. H.relative_error h +. 1e-9) then
+        QCheck.Test.fail_reportf "quantile %g above bound for exact %g at q=%g" est exact q;
+      true)
+
+let hdr_merge_assoc_qcheck =
+  QCheck.Test.make ~name:"hdr merge is associative and commutative" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 60) (float_range 1e-4 1e6))
+        (list_of_size Gen.(0 -- 60) (float_range 1e-4 1e6))
+        (list_of_size Gen.(0 -- 60) (float_range 1e-4 1e6)))
+    (fun (xs, ys, zs) ->
+      let mk l =
+        let h = H.create () in
+        List.iter (H.add h) l;
+        h
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      let all = mk (xs @ ys @ zs) in
+      H.equal (H.merge (H.merge a b) c) (H.merge a (H.merge b c))
+      && H.equal (H.merge a b) (H.merge b a)
+      && H.equal (H.merge (H.merge a b) c) all)
+
+(* ------------------------------------------------------------------ *)
 (* Table and Units                                                     *)
 
 let test_table_render () =
@@ -375,6 +450,15 @@ let () =
           Alcotest.test_case "log2" `Quick test_hist_log2;
           Alcotest.test_case "bounds/fraction" `Quick test_hist_bounds_fraction;
           Alcotest.test_case "uniform CoV" `Quick test_hist_cov_uniform;
+        ] );
+      ( "hdr_histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hdr_empty;
+          Alcotest.test_case "basics" `Quick test_hdr_basics;
+          Alcotest.test_case "restore roundtrip" `Quick test_hdr_restore_roundtrip;
+          Alcotest.test_case "merge geometry mismatch" `Quick test_hdr_merge_mismatch;
+          q hdr_quantile_qcheck;
+          q hdr_merge_assoc_qcheck;
         ] );
       ( "svg",
         [

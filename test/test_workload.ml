@@ -270,6 +270,51 @@ let test_trace_parse_string_errors () =
   | Error m -> check_bool "line number in error" true (String.length m > 6)
   | Ok _ -> Alcotest.fail "bad trace accepted"
 
+let test_trace_edge_cases () =
+  (* empty trace: parses to no events, replays to no effect *)
+  (match Trace_input.parse_string "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty trace produced events"
+  | Error m -> Alcotest.fail m);
+  (match Trace_input.parse_string "# only a comment\n\n" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "comment-only trace produced events"
+  | Error m -> Alcotest.fail m);
+  (* single record *)
+  (match Trace_input.parse_string "alloc 64 1000" with
+  | Ok [ Trace_input.Alloc { size = 64; _ } ] -> ()
+  | Ok _ -> Alcotest.fail "single-record trace misparsed"
+  | Error m -> Alcotest.fail m);
+  (match Trace_input.parse_string "req 0.5" with
+  | Ok [ Trace_input.Request { issue } ] -> check_bool "issue stamp" true (issue = 0.5)
+  | Ok _ -> Alcotest.fail "single req misparsed"
+  | Error m -> Alcotest.fail m)
+
+let test_trace_req_out_of_order () =
+  (* issue stamps must be monotone; the error names the line and both
+     stamps so the offending record is findable in a big trace *)
+  (match Trace_input.parse_string "req 1.0\nalloc 64 100\nreq 0.5" with
+  | Error m ->
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool "names the line" true (String.length m >= 7 && String.sub m 0 7 = "line 3:");
+    check_bool "mentions the order" true (contains "out of order" m)
+  | Ok _ -> Alcotest.fail "out-of-order issue stamps accepted");
+  (* equal stamps are fine (simultaneous arrivals) *)
+  (match Trace_input.parse_string "req 1.0\nreq 1.0" with
+  | Ok [ _; _ ] -> ()
+  | _ -> Alcotest.fail "equal issue stamps rejected");
+  (* malformed stamps *)
+  (match Trace_input.parse_line "req" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "req without stamp accepted");
+  match Trace_input.parse_line "req soon" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric stamp accepted"
+
 let test_trace_replay () =
   let rt = mk_rt Kg_gc.Gc_config.kg_w_default in
   let trace =
@@ -330,6 +375,8 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_trace_parse;
           Alcotest.test_case "parse errors" `Quick test_trace_parse_string_errors;
+          Alcotest.test_case "edge cases" `Quick test_trace_edge_cases;
+          Alcotest.test_case "req stamps out of order" `Quick test_trace_req_out_of_order;
           Alcotest.test_case "replay" `Quick test_trace_replay;
         ] );
       ( "mutator",
